@@ -1,0 +1,153 @@
+package streamsum
+
+// Ablation benchmarks for the design choices DESIGN.md calls out:
+//
+//   - BenchmarkGridSideAblation — the paper fixes the finest cell size at
+//     diagonal = θr (§4.3). Larger cells mean fewer cells but more false
+//     candidates per range query; smaller cells mean emptier probes. This
+//     bench quantifies that trade-off on the range-query substrate.
+//   - BenchmarkAlignmentBudget — §7.2's anytime alignment search trades
+//     optimality for latency; this sweeps the expansion budget and reports
+//     the mean distance found (lower = better alignment).
+//   - BenchmarkCodec — encoding/decoding throughput and per-cell bytes of
+//     the SGS codec (§8.2's 23 B/cell figure).
+//   - BenchmarkRTreeVsScan — the locational index against a linear scan at
+//     archive scale (why the pattern base has indices at all).
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"streamsum/internal/experiments"
+	"streamsum/internal/gen"
+	"streamsum/internal/geom"
+	"streamsum/internal/grid"
+	"streamsum/internal/match"
+	"streamsum/internal/rtree"
+	"streamsum/internal/sgs"
+)
+
+func BenchmarkGridSideAblation(b *testing.B) {
+	const thetaR = 0.8
+	baseSide := thetaR / 1.4142135623730951 // θr/√2: the paper's choice in 2-D
+	for _, mult := range []float64{0.5, 1.0, 2.0, 4.0} {
+		b.Run(fmt.Sprintf("side%.1fx", mult), func(b *testing.B) {
+			geo, err := grid.NewGeometryWithSide(2, thetaR, baseSide*mult)
+			if err != nil {
+				b.Fatal(err)
+			}
+			rng := rand.New(rand.NewSource(9))
+			pts := make([]geom.Point, 20000)
+			for i := range pts {
+				pts[i] = geom.Point{rng.NormFloat64() * 10, rng.NormFloat64() * 10}
+			}
+			ix := grid.NewPointIndex(geo)
+			for i, p := range pts {
+				ix.Insert(int64(i), p)
+			}
+			b.ResetTimer()
+			found := 0
+			for n := 0; n < b.N; n++ {
+				q := pts[n%len(pts)]
+				ix.RangeQuery(q, func(grid.Entry) bool { found++; return true })
+			}
+			b.ReportMetric(float64(found)/float64(b.N), "neighbors/query")
+		})
+	}
+}
+
+func BenchmarkAlignmentBudget(b *testing.B) {
+	clusters := gen.Clusters(gen.ClustersConfig{Seed: 77}, 40)
+	var sums []*Summary
+	for _, gc := range clusters {
+		sc, err := SummarizeStatic(gc.Points, experiments.MatchParams.ThetaR, experiments.MatchParams.ThetaC)
+		if err != nil || len(sc) == 0 {
+			b.Fatal(err)
+		}
+		sums = append(sums, sc[0].Summary)
+	}
+	for _, budget := range []int{1, 8, 64, 256} {
+		b.Run(fmt.Sprintf("budget%d", budget), func(b *testing.B) {
+			var total float64
+			pairs := 0
+			b.ResetTimer()
+			for n := 0; n < b.N; n++ {
+				a := sums[n%len(sums)]
+				c := sums[(n+7)%len(sums)]
+				d, _ := match.BestAlignment(a, c, budget)
+				total += d
+				pairs++
+			}
+			b.ReportMetric(total/float64(pairs), "mean-distance")
+		})
+	}
+}
+
+func BenchmarkCodec(b *testing.B) {
+	clusters := gen.Clusters(gen.ClustersConfig{Seed: 78, MinPoints: 400, MaxPoints: 900}, 20)
+	var sums []*Summary
+	for _, gc := range clusters {
+		sc, err := SummarizeStatic(gc.Points, experiments.MatchParams.ThetaR, experiments.MatchParams.ThetaC)
+		if err != nil || len(sc) == 0 {
+			b.Fatal(err)
+		}
+		sums = append(sums, sc[0].Summary)
+	}
+	b.Run("Marshal", func(b *testing.B) {
+		cells, bytes := 0, 0
+		b.ResetTimer()
+		for n := 0; n < b.N; n++ {
+			s := sums[n%len(sums)]
+			blob := sgs.Marshal(s)
+			cells += s.NumCells()
+			bytes += len(blob)
+		}
+		b.ReportMetric(float64(bytes)/float64(cells), "bytes/cell")
+	})
+	b.Run("Unmarshal", func(b *testing.B) {
+		blobs := make([][]byte, len(sums))
+		for i, s := range sums {
+			blobs[i] = sgs.Marshal(s)
+		}
+		b.ResetTimer()
+		for n := 0; n < b.N; n++ {
+			if _, err := sgs.Unmarshal(blobs[n%len(blobs)]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func BenchmarkRTreeVsScan(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	const n = 10000
+	boxes := make([]geom.MBR, n)
+	tree := rtree.New(2)
+	for i := range boxes {
+		lo := geom.Point{rng.Float64() * 1000, rng.Float64() * 1000}
+		hi := geom.Point{lo[0] + 2 + rng.Float64()*8, lo[1] + 2 + rng.Float64()*8}
+		boxes[i] = geom.MBR{Min: lo, Max: hi}
+		if err := tree.Insert(int64(i), boxes[i]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	query := func(i int) geom.MBR { return boxes[i%n] }
+	b.Run("rtree", func(b *testing.B) {
+		hits := 0
+		for n := 0; n < b.N; n++ {
+			tree.SearchIntersect(query(n), func(rtree.Item) bool { hits++; return true })
+		}
+	})
+	b.Run("scan", func(b *testing.B) {
+		hits := 0
+		for n := 0; n < b.N; n++ {
+			q := query(n)
+			for i := range boxes {
+				if boxes[i].Intersects(q) {
+					hits++
+				}
+			}
+		}
+	})
+}

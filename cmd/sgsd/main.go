@@ -1,0 +1,209 @@
+// Command sgsd runs a continuous clustering query (the paper's Figure 2)
+// over a stream and emits one JSON line per window with the clusters in
+// both representations. The stream comes from a CSV file or one of the
+// built-in synthetic workloads.
+//
+// Usage:
+//
+//	sgsd -query "DETECT DensityBasedClusters f+s FROM s USING theta_range = 0.1 AND theta_cnt = 8 IN WINDOWS WITH win = 10000 AND slide = 1000" \
+//	     -source stt -n 50000
+//
+//	sgsd -query "..." -source csv -csv data.csv -cols 0,1,2,3 -tscol 4
+//
+// With -archive FILE, every emitted summary is archived and the pattern
+// base is saved on exit (inspect it with sgstool).
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+
+	"streamsum"
+	"streamsum/internal/archive"
+	"streamsum/internal/gen"
+	"streamsum/internal/geom"
+	"streamsum/internal/sgs"
+	"streamsum/internal/stream"
+)
+
+type cellJSON struct {
+	Loc        []int32 `json:"loc"`
+	Population uint32  `json:"pop"`
+	Core       bool    `json:"core"`
+	Conns      int     `json:"conns"`
+}
+
+type clusterJSON struct {
+	ID      int64      `json:"id"`
+	Size    int        `json:"size"`
+	Cores   int        `json:"cores"`
+	Members []int64    `json:"members,omitempty"`
+	Cells   []cellJSON `json:"sgs,omitempty"`
+}
+
+type windowJSON struct {
+	Window   int64         `json:"window"`
+	Clusters []clusterJSON `json:"clusters"`
+}
+
+func main() {
+	queryStr := flag.String("query", "", "DETECT query (Figure 2 syntax); required")
+	source := flag.String("source", "stt", "stream source: stt, gmti or csv")
+	n := flag.Int("n", 50000, "tuples to generate (stt/gmti sources)")
+	seed := flag.Int64("seed", 1, "generator seed")
+	csvPath := flag.String("csv", "", "CSV file (csv source)")
+	cols := flag.String("cols", "0,1", "coordinate columns (csv source)")
+	tsCol := flag.Int("tscol", -1, "timestamp column, -1 = row number (csv source)")
+	members := flag.Bool("members", false, "include member ids in output")
+	archivePath := flag.String("archive", "", "save the pattern base to this file on exit")
+	logPath := flag.String("log", "", "append summaries to this crash-safe log as windows complete")
+	flag.Parse()
+
+	if *queryStr == "" {
+		log.Fatal("sgsd: -query is required")
+	}
+
+	var src stream.Source
+	var dim int
+	switch *source {
+	case "stt":
+		b := gen.STT(gen.STTConfig{Seed: *seed}, *n)
+		src = stream.FromSlice(b.Points, b.TS)
+		dim = 4
+	case "gmti":
+		b := gen.GMTI(gen.GMTIConfig{Seed: *seed}, *n)
+		src = stream.FromSlice(b.Points, b.TS)
+		dim = 2
+	case "csv":
+		if *csvPath == "" {
+			log.Fatal("sgsd: csv source requires -csv")
+		}
+		var colIdx []int
+		for _, c := range strings.Split(*cols, ",") {
+			v, err := strconv.Atoi(strings.TrimSpace(c))
+			if err != nil {
+				log.Fatalf("sgsd: bad -cols: %v", err)
+			}
+			colIdx = append(colIdx, v)
+		}
+		f, err := os.Open(*csvPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		src = stream.FromCSV(f, colIdx, *tsCol)
+		dim = len(colIdx)
+	default:
+		log.Fatalf("sgsd: unknown source %q", *source)
+	}
+
+	var archOpts *streamsum.ArchiveOptions
+	if *archivePath != "" {
+		archOpts = &streamsum.ArchiveOptions{}
+	}
+	eng, err := streamsum.NewFromQuery(*queryStr, dim, archOpts)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var appender *archive.Appender
+	if *logPath != "" {
+		lf, err := os.Create(*logPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer lf.Close()
+		appender, err = archive.NewAppender(lf)
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	out := bufio.NewWriter(os.Stdout)
+	defer out.Flush()
+	enc := json.NewEncoder(out)
+
+	emit := func(w *streamsum.WindowResult) {
+		if appender != nil {
+			for _, c := range w.Clusters {
+				if c.Summary == nil {
+					continue
+				}
+				if err := appender.Append(c.Summary); err != nil {
+					log.Fatal(err)
+				}
+			}
+			if err := appender.Flush(); err != nil { // crash-consistency point
+				log.Fatal(err)
+			}
+		}
+		wj := windowJSON{Window: w.Window, Clusters: make([]clusterJSON, 0, len(w.Clusters))}
+		for _, c := range w.Clusters {
+			cj := clusterJSON{ID: c.ID, Size: len(c.Members), Cores: len(c.Cores)}
+			if *members {
+				cj.Members = c.Members
+			}
+			if c.Summary != nil {
+				for i := range c.Summary.Cells {
+					cell := &c.Summary.Cells[i]
+					cj.Cells = append(cj.Cells, cellJSON{
+						Loc:        cell.Coord.Slice(),
+						Population: cell.Population,
+						Core:       cell.Status == sgs.CoreCell,
+						Conns:      len(cell.Conns),
+					})
+				}
+			}
+			wj.Clusters = append(wj.Clusters, cj)
+		}
+		if err := enc.Encode(wj); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	tuples := 0
+	for {
+		t, ok := src.Next()
+		if !ok {
+			break
+		}
+		results, err := eng.Push(geom.Point(t.P), t.TS)
+		if err != nil {
+			log.Fatal(err)
+		}
+		tuples++
+		for _, w := range results {
+			emit(w)
+		}
+	}
+	if cs, ok := src.(*stream.CSVSource); ok && cs.Err() != nil {
+		log.Fatal(cs.Err())
+	}
+	w, err := eng.Flush()
+	if err != nil {
+		log.Fatal(err)
+	}
+	emit(w)
+
+	if *archivePath != "" {
+		f, err := os.Create(*archivePath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := eng.PatternBase().Save(f); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "sgsd: %d tuples processed, %d clusters archived to %s (%.1f KB)\n",
+			tuples, eng.PatternBase().Len(), *archivePath,
+			float64(eng.PatternBase().Bytes())/1024)
+	}
+}

@@ -1,0 +1,173 @@
+// Command sgstool inspects pattern-base files written by sgsd or the
+// archive API.
+//
+// Usage:
+//
+//	sgstool list  base.sgsb             # one line per archived cluster
+//	sgstool show  base.sgsb -id 3       # details + ASCII rendering
+//	sgstool stats base.sgsb             # aggregate statistics
+//	sgstool match base.sgsb -id 3 -threshold 0.3 -limit 5
+//	                                    # match one archived cluster
+//	                                    # against the rest of the base
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+
+	"streamsum/internal/archive"
+	"streamsum/internal/match"
+)
+
+func main() {
+	if len(os.Args) < 3 {
+		fmt.Fprintln(os.Stderr, "usage: sgstool <list|show|stats|match> <file> [flags]")
+		os.Exit(2)
+	}
+	cmd, path := os.Args[1], os.Args[2]
+	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
+	id := fs.Int64("id", 0, "archive id (show, match)")
+	threshold := fs.Float64("threshold", 0.3, "distance threshold (match)")
+	limit := fs.Int("limit", 5, "max matches (match)")
+	dim := fs.Int("dim", 0, "data dimensionality (default: taken from the first record)")
+	_ = fs.Parse(os.Args[3:])
+
+	base, err := load(path, *dim)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	switch cmd {
+	case "list":
+		fmt.Printf("%6s %8s %8s %8s %8s %10s %8s\n", "id", "window", "cells", "core", "pop", "density", "bytes")
+		base.All(func(e *archive.Entry) bool {
+			f := e.Features
+			fmt.Printf("%6d %8d %8.0f %8.0f %8d %10.2f %8d\n",
+				e.ID, e.Summary.Window, f.Volume, f.StatusCount,
+				e.Summary.TotalPopulation(), f.AvgDensity, e.Bytes)
+			return true
+		})
+	case "show":
+		e := base.Get(*id)
+		if e == nil {
+			log.Fatalf("sgstool: no cluster %d", *id)
+		}
+		f := e.Features
+		fmt.Printf("cluster %d (window %d, level %d)\n", e.ID, e.Summary.Window, e.Summary.Level)
+		fmt.Printf("  cells=%0.f core=%0.f population=%d\n", f.Volume, f.StatusCount, e.Summary.TotalPopulation())
+		fmt.Printf("  avg density=%.3f avg connectivity=%.3f\n", f.AvgDensity, f.AvgConnectivity)
+		fmt.Printf("  MBR=%v\n  encoded=%d bytes\n\n", e.MBR, e.Bytes)
+		fmt.Print(e.Summary.Render())
+	case "stats":
+		n, cells, pop, bytes := 0, 0, 0, 0
+		base.All(func(e *archive.Entry) bool {
+			n++
+			cells += e.Summary.NumCells()
+			pop += e.Summary.TotalPopulation()
+			bytes += e.Bytes
+			return true
+		})
+		if n == 0 {
+			fmt.Println("empty pattern base")
+			return
+		}
+		fmt.Printf("clusters:        %d\n", n)
+		fmt.Printf("total cells:     %d (avg %.1f per cluster)\n", cells, float64(cells)/float64(n))
+		fmt.Printf("total population:%d\n", pop)
+		fmt.Printf("summary bytes:   %d (avg %.0f per cluster, %.1f per cell)\n",
+			bytes, float64(bytes)/float64(n), float64(bytes)/float64(cells))
+		full := pop * 8 * dimOf(base)
+		fmt.Printf("full-rep bytes:  ~%d → compression %.1f%%\n", full, 100*(1-float64(bytes)/float64(full)))
+	case "match":
+		e := base.Get(*id)
+		if e == nil {
+			log.Fatalf("sgstool: no cluster %d", *id)
+		}
+		ms, stats, err := match.Run(base, match.Query{
+			Target: e.Summary, Threshold: *threshold, Limit: *limit + 1,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("filter: %d candidates, %d grid-level matches\n", stats.IndexCandidates, stats.Refined)
+		shown := 0
+		for _, m := range ms {
+			if m.ID == *id {
+				continue // skip the target itself
+			}
+			fmt.Printf("  cluster %6d  distance %.4f  (window %d, %d cells)\n",
+				m.ID, m.Distance, m.Entry.Summary.Window, m.Entry.Summary.NumCells())
+			shown++
+			if shown >= *limit {
+				break
+			}
+		}
+		if shown == 0 {
+			fmt.Println("  no matches within threshold")
+		}
+	default:
+		log.Fatalf("sgstool: unknown subcommand %q", cmd)
+	}
+}
+
+func load(path string, dim int) (*archive.Base, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var magic [8]byte
+	if _, err := io.ReadFull(f, magic[:]); err != nil {
+		return nil, fmt.Errorf("sgstool: %v", err)
+	}
+	isLog := string(magic[:]) == "SGSLOG1\n"
+
+	try := func(d int) (*archive.Base, error) {
+		b, err := archive.New(archive.Config{Dim: d})
+		if err != nil {
+			return nil, err
+		}
+		if _, err := f.Seek(0, 0); err != nil {
+			return nil, err
+		}
+		if isLog {
+			n, torn, err := b.LoadAppended(f)
+			if err != nil {
+				return nil, err
+			}
+			if torn {
+				fmt.Fprintf(os.Stderr, "sgstool: log tail torn; recovered %d records\n", n)
+			}
+			if n == 0 {
+				return nil, fmt.Errorf("sgstool: no records recovered")
+			}
+			return b, nil
+		}
+		if err := b.Load(f); err != nil {
+			return nil, err
+		}
+		return b, nil
+	}
+	if dim != 0 {
+		return try(dim)
+	}
+	// Peek the dimensionality: try each supported value.
+	for d := 2; d <= 8; d++ {
+		if b, err := try(d); err == nil {
+			return b, nil
+		}
+	}
+	return nil, fmt.Errorf("sgstool: could not determine dimensionality; pass -dim")
+}
+
+func dimOf(b *archive.Base) int {
+	d := 2
+	b.All(func(e *archive.Entry) bool {
+		d = e.Summary.Dim
+		return false
+	})
+	return d
+}

@@ -1,0 +1,105 @@
+package streamsum_test
+
+import (
+	"fmt"
+	"math/rand"
+
+	"streamsum"
+)
+
+// Two compact clumps of tuples, pushed through a tumbling window.
+func demoPoints() []streamsum.Point {
+	rng := rand.New(rand.NewSource(7))
+	pts := make([]streamsum.Point, 0, 400)
+	for i := 0; i < 200; i++ {
+		pts = append(pts, streamsum.Point{rng.NormFloat64() * 0.4, rng.NormFloat64() * 0.4})
+	}
+	for i := 0; i < 200; i++ {
+		pts = append(pts, streamsum.Point{10 + rng.NormFloat64()*0.4, 10 + rng.NormFloat64()*0.4})
+	}
+	return pts
+}
+
+// Example shows end-to-end continuous clustering: push tuples, receive
+// per-window clusters in full and summarized representation.
+func Example() {
+	eng, err := streamsum.New(streamsum.Options{
+		Dim: 2, ThetaR: 1.0, ThetaC: 4,
+		Win: 400, Slide: 400,
+	})
+	if err != nil {
+		panic(err)
+	}
+	for _, p := range demoPoints() {
+		if _, err := eng.Push(p, 0); err != nil {
+			panic(err)
+		}
+	}
+	w, err := eng.Flush()
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("clusters:", len(w.Clusters))
+	for _, c := range w.Clusters {
+		fmt.Printf("members=%d cells=%d\n", len(c.Members), c.Summary.NumCells())
+	}
+	// Output:
+	// clusters: 2
+	// members=200 cells=12
+	// members=200 cells=15
+}
+
+// ExampleSummarizeStatic summarizes a static point set (no stream) and
+// prints the clusters' features.
+func ExampleSummarizeStatic() {
+	clusters, err := streamsum.SummarizeStatic(demoPoints(), 1.0, 4)
+	if err != nil {
+		panic(err)
+	}
+	for _, c := range clusters {
+		f := c.Summary.Features()
+		fmt.Printf("pop=%d cells=%.0f core=%.0f\n",
+			c.Summary.TotalPopulation(), f.Volume, f.StatusCount)
+	}
+	// Output:
+	// pop=200 cells=12 core=12
+	// pop=200 cells=15 core=15
+}
+
+// ExampleEngine_MatchQuery archives extracted clusters and retrieves the
+// ones similar to a target using the paper's query language.
+func ExampleEngine_MatchQuery() {
+	eng, err := streamsum.New(streamsum.Options{
+		Dim: 2, ThetaR: 1.0, ThetaC: 4,
+		Win: 400, Slide: 400,
+		Archive: &streamsum.ArchiveOptions{},
+	})
+	if err != nil {
+		panic(err)
+	}
+	var target *streamsum.Summary
+	for _, p := range demoPoints() {
+		if _, err := eng.Push(p, 0); err != nil {
+			panic(err)
+		}
+	}
+	w, err := eng.Flush()
+	if err != nil {
+		panic(err)
+	}
+	for _, c := range w.Clusters {
+		target = c.Summary
+	}
+
+	matches, _, err := eng.MatchQuery(`
+		GIVEN DensityBasedCluster input
+		SELECT DensityBasedClusters FROM History
+		WHERE Distance <= 0.2 LIMIT 1`, target)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("archived=%d matches=%d distance=%.1f\n",
+		eng.PatternBase().Len(), len(matches), matches[0].Distance)
+	// Output:
+	// archived=2 matches=1 distance=0.0
+}

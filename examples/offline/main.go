@@ -1,0 +1,87 @@
+// Offline analysis of an archived stream history: persist the pattern
+// base to disk during extraction, reload it later (raw tuples long gone),
+// then analyze the archived patterns — regenerate approximate full
+// representations, diff snapshots of the same tracked pattern, and run
+// matching queries against the reloaded history.
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+
+	"streamsum"
+	"streamsum/internal/archive"
+	"streamsum/internal/gen"
+)
+
+func main() {
+	// --- Online phase: extract, archive, persist --------------------------
+	feed := gen.GMTI(gen.GMTIConfig{Convoys: 5, Seed: 41}, 30000)
+	eng, err := streamsum.New(streamsum.Options{
+		Dim: 2, ThetaR: 1.2, ThetaC: 6, Win: 4000, Slide: 2000,
+		Archive: &streamsum.ArchiveOptions{MinPopulation: 20},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i, p := range feed.Points {
+		if _, err := eng.Push(p, feed.TS[i]); err != nil {
+			log.Fatal(err)
+		}
+	}
+	var file bytes.Buffer // stands in for a file on disk
+	if err := eng.PatternBase().Save(&file); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("online phase: archived %d clusters (%.1f KB persisted)\n",
+		eng.PatternBase().Len(), float64(file.Len())/1024)
+
+	// --- Offline phase: reload and analyze --------------------------------
+	history, err := archive.New(archive.Config{Dim: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := history.Load(bytes.NewReader(file.Bytes())); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("offline phase: reloaded %d clusters\n\n", history.Len())
+
+	// Pick two snapshots of (likely) the same drifting pattern: the pair of
+	// entries from different windows with the highest cell overlap.
+	var entries []*archive.Entry
+	history.All(func(e *archive.Entry) bool {
+		entries = append(entries, e)
+		return true
+	})
+	var a, b *archive.Entry
+	bestJ := -1.0
+	for i := 0; i < len(entries); i++ {
+		for j := i + 1; j < len(entries); j++ {
+			if entries[i].Summary.Window == entries[j].Summary.Window {
+				continue // same window → different patterns by construction
+			}
+			if d, err := streamsum.DiffSummaries(entries[i].Summary, entries[j].Summary); err == nil {
+				if d.CellJaccard > bestJ {
+					bestJ, a, b = d.CellJaccard, entries[i], entries[j]
+				}
+			}
+		}
+	}
+	if a == nil {
+		log.Fatal("no comparable snapshots")
+	}
+	d, err := streamsum.DiffSummaries(a.Summary, b.Summary)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("evolution of pattern %d → %d (windows %d → %d):\n  %v\n\n",
+		a.ID, b.ID, a.Summary.Window, b.Summary.Window, d)
+
+	// Regenerate an approximate full representation of an archived cluster
+	// whose raw tuples no longer exist.
+	pts := streamsum.Regenerate(b.Summary, streamsum.RegenOptions{})
+	fmt.Printf("regenerated %d approximate member positions from %d cells (%d bytes of summary)\n",
+		len(pts), b.Summary.NumCells(), b.Bytes)
+	fmt.Print(b.Summary.Render())
+}

@@ -1,0 +1,68 @@
+// Quickstart: detect density-based clusters in a sliding window over a
+// tiny synthetic stream and print both representations of each cluster.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"streamsum"
+)
+
+func main() {
+	// Two drifting blobs plus background noise, 2-D.
+	rng := rand.New(rand.NewSource(42))
+	var points []streamsum.Point
+	for i := 0; i < 3000; i++ {
+		switch {
+		case rng.Float64() < 0.1: // noise
+			points = append(points, streamsum.Point{rng.Float64() * 30, rng.Float64() * 30})
+		case rng.Float64() < 0.5: // blob A drifting right
+			cx := 5 + float64(i)*0.002
+			points = append(points, streamsum.Point{cx + rng.NormFloat64()*0.6, 10 + rng.NormFloat64()*0.6})
+		default: // blob B stationary
+			points = append(points, streamsum.Point{22 + rng.NormFloat64()*0.8, 20 + rng.NormFloat64()*0.4})
+		}
+	}
+
+	// DETECT DensityBasedClusters f+s FROM stream
+	// USING theta_range = 1.0 AND theta_cnt = 5
+	// IN WINDOWS WITH win = 1000 AND slide = 500
+	eng, err := streamsum.New(streamsum.Options{
+		Dim:    2,
+		ThetaR: 1.0,
+		ThetaC: 5,
+		Win:    1000,
+		Slide:  500,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	for _, p := range points {
+		results, err := eng.Push(p, 0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, w := range results {
+			fmt.Printf("=== window %d: %d cluster(s)\n", w.Window, len(w.Clusters))
+			for _, c := range w.Clusters {
+				full := len(c.Members)
+				cells := c.Summary.NumCells()
+				fmt.Printf("  cluster %d: %d members (full representation), "+
+					"%d skeletal grid cells (%d core), population %d\n",
+					c.ID, full, cells, c.Summary.NumCoreCells(), c.Summary.TotalPopulation())
+			}
+		}
+	}
+
+	// The final partial window, rendered.
+	w, err := eng.Flush()
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, c := range w.Clusters {
+		fmt.Printf("\nfinal window cluster %d summary:\n%s", c.ID, c.Summary.Render())
+	}
+}

@@ -1,0 +1,89 @@
+package streamsum
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"streamsum/internal/gen"
+)
+
+// TestFigure4Pipeline exercises the paper's full deployment shape (Figure
+// 4) in one process: the Pattern Extractor feeds windows to the analyst
+// (tracker) and the Pattern Archiver, while a concurrent Pattern Analyzer
+// issues matching queries against the live pattern base the whole time.
+func TestFigure4Pipeline(t *testing.T) {
+	feed := gen.GMTI(gen.GMTIConfig{Convoys: 6, Seed: 71}, 30000)
+	eng, err := New(Options{
+		Dim: 2, ThetaR: 1.2, ThetaC: 6,
+		Win: 4000, Slide: 1000,
+		Archive: &ArchiveOptions{MinPopulation: 15},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tracker := NewTracker()
+
+	// Concurrent analyst: repeatedly match the latest summary against the
+	// growing archive.
+	var latest atomic.Pointer[Summary]
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	var queries, matched int64
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			s := latest.Load()
+			if s == nil || eng.PatternBase().Len() == 0 {
+				continue
+			}
+			ms, _, err := eng.Match(MatchOptions{Target: s, Threshold: 0.5, Limit: 3})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			atomic.AddInt64(&queries, 1)
+			if len(ms) > 0 {
+				atomic.AddInt64(&matched, 1)
+			}
+		}
+	}()
+
+	windows, events := 0, 0
+	for i, p := range feed.Points {
+		results, err := eng.Push(p, feed.TS[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, w := range results {
+			windows++
+			events += len(tracker.Advance(w))
+			for _, c := range w.Clusters {
+				latest.Store(c.Summary)
+			}
+		}
+	}
+	close(stop)
+	wg.Wait()
+
+	if windows == 0 || events == 0 {
+		t.Fatalf("windows=%d events=%d", windows, events)
+	}
+	if eng.PatternBase().Len() == 0 {
+		t.Fatal("nothing archived")
+	}
+	if atomic.LoadInt64(&queries) == 0 {
+		t.Fatal("analyst never ran a query")
+	}
+	if atomic.LoadInt64(&matched) == 0 {
+		t.Fatal("analyst never found a match (recurring convoys must match)")
+	}
+	t.Logf("windows=%d track-events=%d archived=%d concurrent-queries=%d matched=%d",
+		windows, events, eng.PatternBase().Len(), queries, matched)
+}

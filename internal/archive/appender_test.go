@@ -1,0 +1,122 @@
+package archive
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestAppenderRoundTrip(t *testing.T) {
+	sums := fixtureSummaries(t, 12, 21)
+	var log bytes.Buffer
+	ap, err := NewAppender(&log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range sums {
+		if err := ap.Append(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := ap.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if ap.Count() != 12 {
+		t.Fatalf("Count = %d", ap.Count())
+	}
+	b, _ := New(Config{Dim: 2})
+	n, torn, err := b.LoadAppended(bytes.NewReader(log.Bytes()))
+	if err != nil || torn {
+		t.Fatalf("n=%d torn=%v err=%v", n, torn, err)
+	}
+	if n != 12 || b.Len() != 12 {
+		t.Fatalf("recovered %d, base has %d", n, b.Len())
+	}
+}
+
+func TestAppenderTornTailRecovery(t *testing.T) {
+	sums := fixtureSummaries(t, 6, 22)
+	var log bytes.Buffer
+	ap, err := NewAppender(&log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range sums {
+		if err := ap.Append(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := ap.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	full := log.Bytes()
+	// Simulate a crash mid-write: truncate inside the last record.
+	for _, cut := range []int{1, 2, 5, 20} {
+		if cut >= len(full) {
+			continue
+		}
+		torn := full[:len(full)-cut]
+		b, _ := New(Config{Dim: 2})
+		n, wasTorn, err := b.LoadAppended(bytes.NewReader(torn))
+		if err != nil {
+			t.Fatalf("cut %d: %v", cut, err)
+		}
+		if !wasTorn {
+			t.Fatalf("cut %d: torn tail not detected", cut)
+		}
+		if n != 5 || b.Len() != 5 {
+			t.Fatalf("cut %d: recovered %d records, want 5", cut, n)
+		}
+	}
+}
+
+func TestAppenderSelectionOnReplay(t *testing.T) {
+	sums := fixtureSummaries(t, 10, 23)
+	var log bytes.Buffer
+	ap, _ := NewAppender(&log)
+	for _, s := range sums {
+		if err := ap.Append(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_ = ap.Flush()
+	// Replay under a stricter policy: a population floor above some of the
+	// fixtures filters them out.
+	minPop := 0
+	for _, s := range sums {
+		if p := s.TotalPopulation(); p > minPop {
+			minPop = p
+		}
+	}
+	b, _ := New(Config{Dim: 2, MinPopulation: minPop}) // only the max survives
+	n, torn, err := b.LoadAppended(bytes.NewReader(log.Bytes()))
+	if err != nil || torn {
+		t.Fatal(err)
+	}
+	if n != 10 {
+		t.Fatalf("replayed %d records", n)
+	}
+	if b.Len() >= 10 || b.Len() < 1 {
+		t.Fatalf("policy kept %d", b.Len())
+	}
+}
+
+func TestLoadAppendedErrors(t *testing.T) {
+	b, _ := New(Config{Dim: 2})
+	if _, _, err := b.LoadAppended(bytes.NewReader(nil)); err == nil {
+		t.Error("empty log accepted")
+	}
+	if _, _, err := b.LoadAppended(bytes.NewReader([]byte("NOTALOG1"))); err == nil {
+		t.Error("bad magic accepted")
+	}
+	// Non-empty base refuses.
+	sums := fixtureSummaries(t, 1, 24)
+	if _, ok, _ := b.Put(sums[0]); !ok {
+		t.Fatal("setup put failed")
+	}
+	var log bytes.Buffer
+	ap, _ := NewAppender(&log)
+	_ = ap.Flush()
+	if _, _, err := b.LoadAppended(bytes.NewReader(log.Bytes())); err == nil {
+		t.Error("non-empty base accepted")
+	}
+}

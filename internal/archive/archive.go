@@ -1,0 +1,264 @@
+// Package archive implements the Pattern Archiver and Pattern Base of the
+// framework (§3.3, §6, §7.1).
+//
+// The archiver decides which extracted clusters enter the pattern base
+// (selective archiving: sampling and feature predicates, §6.2) and at
+// which resolution they are stored (budget- and accuracy-aware resolution
+// selection over the multi-resolution SGS hierarchy, §6.1). The pattern
+// base organizes the archived summaries under two indices: an R-tree over
+// cluster MBRs (locational feature index) and a 4-D grid over the
+// non-locational features (volume, status count, average density, average
+// connectivity), so matching queries can locate candidates without
+// scanning the archive (§7.1).
+package archive
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"streamsum/internal/featidx"
+	"streamsum/internal/geom"
+	"streamsum/internal/rtree"
+	"streamsum/internal/sgs"
+)
+
+// Config controls archiving policy.
+type Config struct {
+	// Dim is the data-space dimensionality (required).
+	Dim int
+	// Level is the resolution level to archive at (0 = basic SGS).
+	Level int
+	// Theta is the compression rate between resolution levels (>= 2;
+	// ignored when Level == 0 and ByteBudget == 0).
+	Theta int
+	// ByteBudget, when positive, overrides Level: each summary is stored
+	// at the finest level whose encoding fits the budget (§6.1).
+	ByteBudget int
+	// SampleRate archives only this fraction of offered clusters
+	// (selective archiving by sampling, §6.2). 0 or 1 keeps everything.
+	SampleRate float64
+	// MinPopulation drops clusters with fewer member objects (selective
+	// archiving by feature, §6.2). 0 keeps everything.
+	MinPopulation int
+	// MinCells drops clusters whose SGS has fewer cells. 0 keeps all.
+	MinCells int
+	// Capacity bounds the number of archived clusters; once full, the
+	// oldest archived cluster is evicted (0 = unlimited).
+	Capacity int
+	// Seed makes sampling reproducible.
+	Seed int64
+}
+
+// Entry is one archived cluster.
+type Entry struct {
+	ID       int64
+	Summary  *sgs.Summary
+	MBR      geom.MBR
+	Features sgs.Features
+	// Bytes is the summary's encoded size, maintained so the archive can
+	// report its exact storage footprint (Fig. 8's memory metric).
+	Bytes int
+}
+
+// Base is the pattern base. It is safe for concurrent use: the extractor
+// appends while analysts run matching queries.
+type Base struct {
+	mu      sync.RWMutex
+	cfg     Config
+	rng     *rand.Rand
+	nextID  int64
+	entries map[int64]*Entry
+	order   []int64 // FIFO for capacity eviction
+	loc     *rtree.Tree
+	feat    *featidx.Index
+	bytes   int
+}
+
+// New returns an empty pattern base.
+func New(cfg Config) (*Base, error) {
+	if cfg.Dim < 1 {
+		return nil, fmt.Errorf("archive: dimension required")
+	}
+	if cfg.Level < 0 {
+		return nil, fmt.Errorf("archive: negative level")
+	}
+	if (cfg.Level > 0 || cfg.ByteBudget > 0) && cfg.Theta < 2 {
+		return nil, fmt.Errorf("archive: compression requires theta >= 2, got %d", cfg.Theta)
+	}
+	if cfg.SampleRate < 0 || cfg.SampleRate > 1 {
+		return nil, fmt.Errorf("archive: sample rate %g out of [0,1]", cfg.SampleRate)
+	}
+	return &Base{
+		cfg:     cfg,
+		rng:     rand.New(rand.NewSource(cfg.Seed)),
+		entries: make(map[int64]*Entry),
+		loc:     rtree.New(cfg.Dim),
+		feat:    featidx.New(),
+	}, nil
+}
+
+// Config returns the archiving policy.
+func (b *Base) Config() Config { return b.cfg }
+
+// Len returns the number of archived clusters.
+func (b *Base) Len() int {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	return len(b.entries)
+}
+
+// Bytes returns the total encoded size of all archived summaries.
+func (b *Base) Bytes() int {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	return b.bytes
+}
+
+// Put offers one extracted cluster summary to the archiver. It returns the
+// archive id and true if the cluster was archived, or false if the
+// selection policy skipped it. The summary is cloned/compressed; the
+// caller's copy is never retained.
+func (b *Base) Put(s *sgs.Summary) (int64, bool, error) {
+	if s == nil || s.NumCells() == 0 {
+		return 0, false, fmt.Errorf("archive: empty summary")
+	}
+	if s.Dim != b.cfg.Dim {
+		return 0, false, fmt.Errorf("archive: summary dimension %d != base dimension %d", s.Dim, b.cfg.Dim)
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+
+	// Selective archiving (§6.2).
+	if b.cfg.MinPopulation > 0 && s.TotalPopulation() < b.cfg.MinPopulation {
+		return 0, false, nil
+	}
+	if b.cfg.MinCells > 0 && s.NumCells() < b.cfg.MinCells {
+		return 0, false, nil
+	}
+	if b.cfg.SampleRate > 0 && b.cfg.SampleRate < 1 && b.rng.Float64() >= b.cfg.SampleRate {
+		return 0, false, nil
+	}
+
+	// Resolution selection (§6.1).
+	stored, err := b.selectResolution(s)
+	if err != nil {
+		return 0, false, err
+	}
+
+	id := b.nextID
+	b.nextID++
+	stored.ID = id
+	e := &Entry{
+		ID:       id,
+		Summary:  stored,
+		MBR:      stored.MBR(),
+		Features: stored.Features(),
+		Bytes:    sgs.EncodedSize(stored),
+	}
+	if err := b.loc.Insert(id, e.MBR); err != nil {
+		return 0, false, err
+	}
+	b.feat.Insert(id, e.Features.Vector())
+	b.entries[id] = e
+	b.order = append(b.order, id)
+	b.bytes += e.Bytes
+
+	if b.cfg.Capacity > 0 {
+		for len(b.entries) > b.cfg.Capacity {
+			oldest := b.order[0]
+			b.order = b.order[1:]
+			b.removeLocked(oldest)
+		}
+	}
+	return id, true, nil
+}
+
+// selectResolution applies §6.1: fixed level, or finest level fitting the
+// byte budget.
+func (b *Base) selectResolution(s *sgs.Summary) (*sgs.Summary, error) {
+	if b.cfg.ByteBudget > 0 {
+		cur := s.Clone()
+		// Compress until the encoding fits; a single-cell summary is the
+		// coarsest possible representation, so the loop always terminates.
+		for i := 0; i < 64 && sgs.EncodedSize(cur) > b.cfg.ByteBudget && cur.NumCells() > 1; i++ {
+			next, err := cur.Compress(b.cfg.Theta)
+			if err != nil {
+				return nil, err
+			}
+			cur = next
+		}
+		return cur, nil
+	}
+	if b.cfg.Level == 0 {
+		return s.Clone(), nil
+	}
+	return s.CompressTo(b.cfg.Level, b.cfg.Theta)
+}
+
+// Get returns the archived entry with the given id, or nil.
+func (b *Base) Get(id int64) *Entry {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	return b.entries[id]
+}
+
+// Remove deletes an archived cluster. It returns true if it existed.
+func (b *Base) Remove(id int64) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if _, ok := b.entries[id]; !ok {
+		return false
+	}
+	for i, x := range b.order {
+		if x == id {
+			b.order = append(b.order[:i], b.order[i+1:]...)
+			break
+		}
+	}
+	b.removeLocked(id)
+	return true
+}
+
+func (b *Base) removeLocked(id int64) {
+	e, ok := b.entries[id]
+	if !ok {
+		return
+	}
+	b.loc.Delete(id, e.MBR)
+	b.feat.Remove(id, e.Features.Vector())
+	b.bytes -= e.Bytes
+	delete(b.entries, id)
+}
+
+// SearchLocation visits archived entries whose MBR intersects the query
+// box (the position-sensitive filter phase).
+func (b *Base) SearchLocation(q geom.MBR, visit func(*Entry) bool) {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	b.loc.SearchIntersect(q, func(it rtree.Item) bool {
+		return visit(b.entries[it.ID])
+	})
+}
+
+// SearchFeatures visits archived entries whose feature vector lies inside
+// [lo, hi] (the non-position-sensitive filter phase).
+func (b *Base) SearchFeatures(lo, hi [4]float64, visit func(*Entry) bool) {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	b.feat.Search(lo, hi, func(fe featidx.Entry) bool {
+		return visit(b.entries[fe.ID])
+	})
+}
+
+// All visits every archived entry (diagnostics, persistence, linear-scan
+// baselines).
+func (b *Base) All(visit func(*Entry) bool) {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	for _, id := range b.order {
+		if !visit(b.entries[id]) {
+			return
+		}
+	}
+}

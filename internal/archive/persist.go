@@ -1,0 +1,102 @@
+package archive
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"streamsum/internal/sgs"
+)
+
+// Persistence: the pattern base constitutes the queryable Stream History
+// (§3.3), so it must survive process restarts. The on-disk format is a
+// small header followed by length-prefixed sgs.Marshal blobs in archive
+// (FIFO) order. Indices are rebuilt on load — they are derived data.
+
+var fileMagic = [8]byte{'S', 'G', 'S', 'B', 'A', 'S', 'E', '1'}
+
+// ErrBadFile is returned when loading a corrupt pattern-base file.
+var ErrBadFile = errors.New("archive: bad pattern base file")
+
+// Save writes all archived summaries to w.
+func (b *Base) Save(w io.Writer) error {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(fileMagic[:]); err != nil {
+		return err
+	}
+	var n8 [8]byte
+	binary.LittleEndian.PutUint64(n8[:], uint64(len(b.entries)))
+	if _, err := bw.Write(n8[:]); err != nil {
+		return err
+	}
+	for _, id := range b.order {
+		blob := sgs.Marshal(b.entries[id].Summary)
+		binary.LittleEndian.PutUint64(n8[:], uint64(len(blob)))
+		if _, err := bw.Write(n8[:]); err != nil {
+			return err
+		}
+		if _, err := bw.Write(blob); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Load reads summaries written by Save into an empty pattern base created
+// with the same dimensionality. Selection policies are not re-applied: the
+// file's contents were already selected when first archived. Archive ids
+// are reassigned densely.
+func (b *Base) Load(r io.Reader) error {
+	if b.Len() != 0 {
+		return fmt.Errorf("archive: Load requires an empty base")
+	}
+	br := bufio.NewReader(r)
+	var magic [8]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return fmt.Errorf("%w: %v", ErrBadFile, err)
+	}
+	if magic != fileMagic {
+		return fmt.Errorf("%w: bad magic", ErrBadFile)
+	}
+	var n8 [8]byte
+	if _, err := io.ReadFull(br, n8[:]); err != nil {
+		return fmt.Errorf("%w: %v", ErrBadFile, err)
+	}
+	count := binary.LittleEndian.Uint64(n8[:])
+	for i := uint64(0); i < count; i++ {
+		if _, err := io.ReadFull(br, n8[:]); err != nil {
+			return fmt.Errorf("%w: truncated at record %d", ErrBadFile, i)
+		}
+		size := binary.LittleEndian.Uint64(n8[:])
+		if size > 1<<30 {
+			return fmt.Errorf("%w: record %d size %d", ErrBadFile, i, size)
+		}
+		blob := make([]byte, size)
+		if _, err := io.ReadFull(br, blob); err != nil {
+			return fmt.Errorf("%w: truncated record %d", ErrBadFile, i)
+		}
+		s, err := sgs.Unmarshal(blob)
+		if err != nil {
+			return fmt.Errorf("%w: record %d: %v", ErrBadFile, i, err)
+		}
+		b.mu.Lock()
+		id := b.nextID
+		b.nextID++
+		s.ID = id
+		e := &Entry{ID: id, Summary: s, MBR: s.MBR(), Features: s.Features(), Bytes: len(blob)}
+		if err := b.loc.Insert(id, e.MBR); err != nil {
+			b.mu.Unlock()
+			return err
+		}
+		b.feat.Insert(id, e.Features.Vector())
+		b.entries[id] = e
+		b.order = append(b.order, id)
+		b.bytes += e.Bytes
+		b.mu.Unlock()
+	}
+	return nil
+}

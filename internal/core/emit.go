@@ -1,0 +1,251 @@
+package core
+
+import (
+	"sort"
+
+	"streamsum/internal/sgs"
+)
+
+// emit runs the output stage of §5.4 for the current window, then performs
+// the (trivial, thanks to lifespan analysis) expiration stage and advances
+// the window.
+func (e *Extractor) emit() *WindowResult {
+	n := e.cur
+	res := &WindowResult{Window: n}
+
+	// --- Output stage -----------------------------------------------------
+	// The skeletal grid cells are the vertices of a graph, their live
+	// connections the edges; a DFS over the core cells yields one connected
+	// group — one cluster — at a time.
+
+	// Deterministic iteration order: sort live core cells by coordinate.
+	var coreCells []*cell
+	for _, c := range e.cells {
+		e.pruneConns(c, n)
+		if c.coreLast >= n {
+			coreCells = append(coreCells, c)
+		}
+	}
+	sort.Slice(coreCells, func(i, j int) bool {
+		return sgs.CoordLess(coreCells[i].coord, coreCells[j].coord)
+	})
+
+	comp := make(map[*cell]int, len(coreCells))
+	var groups [][]*cell
+	for _, start := range coreCells {
+		if _, seen := comp[start]; seen {
+			continue
+		}
+		gi := len(groups)
+		var group []*cell
+		stack := []*cell{start}
+		comp[start] = gi
+		for len(stack) > 0 {
+			c := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			group = append(group, c)
+			for _, lc := range c.live {
+				if !lc.coreConn {
+					continue
+				}
+				nc, ok := e.cells[lc.coord]
+				if !ok || nc.coreLast < n {
+					continue
+				}
+				if _, seen := comp[nc]; !seen {
+					comp[nc] = gi
+					stack = append(stack, nc)
+				}
+			}
+		}
+		groups = append(groups, group)
+	}
+
+	for _, group := range groups {
+		res.Clusters = append(res.Clusters, e.buildCluster(n, group, comp))
+	}
+
+	// --- Expiration stage ---------------------------------------------------
+	// All structural impact of expiry was pre-computed at insertion; the
+	// only work left is dropping the raw tuples whose lifespan ends with
+	// this window (§5.4 "Handling Expirations").
+	for _, o := range e.expiry[n] {
+		e.removeObject(o)
+	}
+	delete(e.expiry, n)
+	e.cur = n + 1
+	return res
+}
+
+// edgeInfo tracks one attached edge cell and the member objects this
+// cluster claims from it.
+type edgeInfo struct {
+	cell    *cell
+	members []int64
+}
+
+// buildCluster assembles one cluster (full + SGS representation) from its
+// connected group of core cells.
+func (e *Extractor) buildCluster(n int64, group []*cell, comp map[*cell]int) *Cluster {
+	cl := &Cluster{ID: e.nextCID}
+	e.nextCID++
+	gi := comp[group[0]]
+
+	// Core cells: every live object is a member (Lemma 4.1).
+	for _, c := range group {
+		for _, o := range c.objs {
+			cl.Members = append(cl.Members, o.id)
+			if o.coreLast >= n {
+				cl.Cores = append(cl.Cores, o.id)
+			}
+		}
+	}
+
+	// Attached edge cells: reachable through a live attachment from a core
+	// cell of this group, and not core themselves in this window. Their
+	// per-cluster population is the number of their objects attached to
+	// this cluster (an edge cell can be shared between clusters).
+	edges := make(map[*cell]*edgeInfo)
+	for _, c := range group {
+		for _, lc := range c.live {
+			if !lc.attachOut {
+				continue
+			}
+			nc, ok := e.cells[lc.coord]
+			if !ok || nc.coreLast >= n {
+				continue // core cells were handled by the DFS
+			}
+			if _, seen := edges[nc]; !seen {
+				edges[nc] = &edgeInfo{cell: nc}
+			}
+		}
+	}
+	for _, ei := range edges {
+		for _, o := range ei.cell.objs {
+			if e.attachedTo(o, n, gi, comp) {
+				ei.members = append(ei.members, o.id)
+			}
+		}
+		if len(ei.members) == 0 {
+			continue
+		}
+		cl.Members = append(cl.Members, ei.members...)
+	}
+
+	sort.Slice(cl.Members, func(i, j int) bool { return cl.Members[i] < cl.Members[j] })
+	sort.Slice(cl.Cores, func(i, j int) bool { return cl.Cores[i] < cl.Cores[j] })
+
+	if !e.cfg.SkipSummaries {
+		cl.Summary = e.buildSummary(n, group, edges, cl.ID)
+	}
+	return cl
+}
+
+// buildSummary assembles the SGS directly from the extractor's cell
+// structures (Definition 4.4): one pass over the group's live connections,
+// no intermediate builder maps — this is the "piggybacked" summarization
+// whose marginal cost the paper bounds at 6%.
+func (e *Extractor) buildSummary(n int64, group []*cell, edges map[*cell]*edgeInfo, id int64) *sgs.Summary {
+	s := &sgs.Summary{ID: id, Window: n, Dim: e.cfg.Dim, Side: e.geo.Side()}
+	s.Cells = make([]sgs.Cell, 0, len(group)+len(edges))
+	for _, c := range group {
+		sc := sgs.Cell{Coord: c.coord, Population: uint32(len(c.objs)), Status: sgs.CoreCell}
+		for _, lc := range c.live {
+			nc, ok := e.cells[lc.coord]
+			if !ok {
+				continue
+			}
+			if lc.coreConn && nc.coreLast >= n {
+				// Symmetric: the other core cell records the mirror entry
+				// from its own live list.
+				sc.Conns = append(sc.Conns, lc.coord)
+			} else if lc.attachOut {
+				if ei, isEdge := edges[nc]; isEdge && len(ei.members) > 0 {
+					sc.Conns = append(sc.Conns, lc.coord)
+				}
+			}
+		}
+		s.Cells = append(s.Cells, sc)
+	}
+	for _, ei := range edges {
+		if len(ei.members) == 0 {
+			continue
+		}
+		s.Cells = append(s.Cells, sgs.Cell{
+			Coord:      ei.cell.coord,
+			Population: uint32(len(ei.members)),
+			Status:     sgs.EdgeCell,
+		})
+	}
+	s.Normalize()
+	return s
+}
+
+// attachedTo reports whether object o (living in a non-core cell) is an
+// edge member of cluster group gi in window n: some live core object of
+// that group is o's neighbor. Live-neighbor scans here are cheap: a
+// non-core object has fewer than θc live neighbors by definition — this is
+// the boundedness argument behind the paper's non-core-career neighbor
+// lists.
+func (e *Extractor) attachedTo(o *object, n int64, gi int, comp map[*cell]int) bool {
+	live := 0
+	found := false
+	for _, b := range o.nbrs {
+		if b.last < e.cur {
+			continue
+		}
+		o.nbrs[live] = b
+		live++
+		if found || b.coreLast < n {
+			continue
+		}
+		if g, ok := comp[b.cell]; ok && g == gi {
+			found = true
+		}
+	}
+	o.nbrs = o.nbrs[:live]
+	return found
+}
+
+// pruneConns drops connection entries whose every lifespan ended before
+// window n and snapshots the surviving ones into the cell's live slice.
+// (The mirrored fields on the opposite cell are pruned when that cell is
+// visited.)
+func (e *Extractor) pruneConns(c *cell, n int64) {
+	c.live = c.live[:0]
+	for coord, ce := range c.conns {
+		coreLive, attachLive := ce.coreLast >= n, ce.attachOut >= n
+		if !coreLive && !attachLive {
+			delete(c.conns, coord)
+			continue
+		}
+		c.live = append(c.live, liveConn{coord: coord, coreConn: coreLive, attachOut: attachLive})
+	}
+}
+
+// removeObject drops an expired tuple from its cell. No lifespan updates
+// are needed: every effect of this expiry was accounted for at insertion.
+func (e *Extractor) removeObject(o *object) {
+	c := o.cell
+	last := len(c.objs) - 1
+	moved := c.objs[last]
+	c.objs[o.cellIdx] = moved
+	moved.cellIdx = o.cellIdx
+	c.objs = c.objs[:last]
+	e.objCount--
+	o.nbrs = nil // break retention chains through expired objects
+	o.cell = nil
+	if len(c.objs) == 0 {
+		for _, nc := range c.nbrCells {
+			for i, x := range nc.nbrCells {
+				if x == c {
+					nc.nbrCells[i] = nc.nbrCells[len(nc.nbrCells)-1]
+					nc.nbrCells = nc.nbrCells[:len(nc.nbrCells)-1]
+					break
+				}
+			}
+		}
+		c.nbrCells = nil
+		delete(e.cells, c.coord)
+	}
+}

@@ -1,0 +1,138 @@
+package core
+
+import (
+	"testing"
+
+	"streamsum/internal/geom"
+	"streamsum/internal/window"
+)
+
+// TestTimeGapEmitsEmptyWindows: a long quiet period in a time-based stream
+// must emit the intervening (possibly empty) windows in order, expire all
+// state, and resume cleanly.
+func TestTimeGapEmitsEmptyWindows(t *testing.T) {
+	ex, err := New(Config{Dim: 1, ThetaR: 1, ThetaC: 1,
+		Window: window.Spec{Kind: window.TimeBased, Win: 10, Slide: 10}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A clustered pair in window 0.
+	if _, _, err := ex.Push(geom.Point{0}, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := ex.Push(geom.Point{0.5}, 2); err != nil {
+		t.Fatal(err)
+	}
+	// Next tuple arrives 10 windows later.
+	_, emitted, err := ex.Push(geom.Point{5}, 105)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(emitted) != 10 {
+		t.Fatalf("gap emitted %d windows, want 10", len(emitted))
+	}
+	if len(emitted[0].Clusters) != 1 {
+		t.Fatalf("window 0 should hold the pair: %+v", emitted[0])
+	}
+	for i, w := range emitted[1:] {
+		if w.Window != int64(i+1) {
+			t.Fatalf("window order broken: got %d at %d", w.Window, i+1)
+		}
+		if len(w.Clusters) != 0 {
+			t.Fatalf("window %d should be empty", w.Window)
+		}
+	}
+	// All pre-gap state reclaimed; only the new tuple lives.
+	if st := ex.Stats(); st.Objects != 1 {
+		t.Fatalf("stats after gap: %+v", st)
+	}
+}
+
+// TestSingleTupleWindows: θc=1 never met by singletons (self excluded), so
+// sparse streams produce no clusters but must not leak state.
+func TestSingleTupleWindows(t *testing.T) {
+	ex, err := New(Config{Dim: 2, ThetaR: 1, ThetaC: 1,
+		Window: window.Spec{Win: 1, Slide: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		_, emitted, err := ex.Push(geom.Point{float64(i) * 100, 0}, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, w := range emitted {
+			if len(w.Clusters) != 0 {
+				t.Fatalf("singleton window %d produced clusters", w.Window)
+			}
+		}
+	}
+	if st := ex.Stats(); st.Objects != 1 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+// TestCoincidentPoints: many tuples at exactly the same position exercise
+// zero-distance neighborships and single-cell clusters.
+func TestCoincidentPoints(t *testing.T) {
+	ex, err := New(Config{Dim: 2, ThetaR: 0.5, ThetaC: 3,
+		Window: window.Spec{Win: 20, Slide: 10}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var last *WindowResult
+	for i := 0; i < 60; i++ {
+		_, emitted, err := ex.Push(geom.Point{1, 1}, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, w := range emitted {
+			last = w
+		}
+	}
+	if last == nil || len(last.Clusters) != 1 {
+		t.Fatalf("coincident stream: %+v", last)
+	}
+	c := last.Clusters[0]
+	if len(c.Members) != 20 || len(c.Cores) != 20 {
+		t.Fatalf("cluster: %d members %d cores", len(c.Members), len(c.Cores))
+	}
+	if c.Summary.NumCells() != 1 || c.Summary.NumCoreCells() != 1 {
+		t.Fatalf("summary: %v", c.Summary)
+	}
+	if err := c.Summary.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestNegativeCoordinates: cells with negative indices must behave
+// identically (floor division, offsets, connections).
+func TestNegativeCoordinates(t *testing.T) {
+	ex, err := New(Config{Dim: 2, ThetaR: 1.0, ThetaC: 2,
+		Window: window.Spec{Win: 12, Slide: 12}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := []geom.Point{
+		{-5.1, -5.1}, {-5.3, -5.2}, {-4.9, -5.0}, {-4.7, -4.8},
+		{-4.5, -4.6}, {-4.3, -4.4},
+	}
+	for _, p := range pts {
+		if _, _, err := ex.Push(p, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w := ex.Flush()
+	if len(w.Clusters) != 1 {
+		t.Fatalf("clusters: %+v", w.Clusters)
+	}
+	if got := len(w.Clusters[0].Members); got != 6 {
+		t.Fatalf("members: %d", got)
+	}
+	if err := w.Clusters[0].Summary.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if comps := w.Clusters[0].Summary.ConnectedComponents(); len(comps) != 1 {
+		t.Fatalf("summary components: %d", len(comps))
+	}
+}

@@ -1,0 +1,145 @@
+package core
+
+import (
+	"streamsum/internal/geom"
+	"streamsum/internal/grid"
+	"streamsum/internal/window"
+)
+
+// insert performs the "Handling Insertions" stage of C-SGS (§5.4): one
+// range query search for the new object, lifespan analysis of its own
+// career and the careers it prolongs or promotes, and the corresponding
+// status/connection updates on the skeletal grid cells.
+func (e *Extractor) insert(id int64, p geom.Point, pos int64) {
+	o := &object{
+		id:       id,
+		p:        p,
+		last:     e.cfg.Window.LastWindow(pos),
+		coreLast: window.Never,
+		tracker:  window.NewCoreTracker(e.cfg.ThetaC),
+	}
+
+	coord := e.geo.CoordOf(p)
+	c := e.cells[coord]
+	if c == nil {
+		c = &cell{
+			coord:    coord,
+			coreLast: window.Never,
+			conns:    make(map[grid.Coord]*connEntry),
+		}
+		e.cells[coord] = c
+		for _, off := range e.geo.NeighborOffsets() {
+			if off.IsZero() {
+				continue
+			}
+			if nc, ok := e.cells[coord.Add(off)]; ok {
+				c.nbrCells = append(c.nbrCells, nc)
+				nc.nbrCells = append(nc.nbrCells, c)
+			}
+		}
+	}
+	o.cell = c
+	o.cellIdx = len(c.objs)
+	c.objs = append(c.objs, o)
+	e.objCount++
+	e.expiry[o.last] = append(e.expiry[o.last], o)
+
+	// The single range query search (§5.3: "we only run one rqs for each
+	// new object and never re-run rqs for existing objects"), visiting the
+	// object's own cell plus the occupied cells linked to it.
+	var affected []*object
+	r2 := e.cfg.ThetaR * e.cfg.ThetaR
+	for ci := -1; ci < len(c.nbrCells); ci++ {
+		nc := c
+		if ci >= 0 {
+			nc = c.nbrCells[ci]
+		}
+		for _, q := range nc.objs {
+			if q == o || geom.DistSq(p, q.p) > r2 {
+				continue
+			}
+			// Record the neighborship on both sides (Observation 5.3: its
+			// lifespan is min of the two expiries, implicit in the refs).
+			o.nbrs = append(o.nbrs, q)
+			q.nbrs = append(q.nbrs, o)
+			o.tracker.Add(q.last)
+			// The arrival may promote q to core or prolong q's core career
+			// (the "status promotion case 2"/"status prolong case 2" of
+			// Figure 6).
+			if q.tracker.Add(o.last) {
+				if nl := q.tracker.CoreLast(q.last); nl > q.coreLast {
+					q.coreLast = nl
+					affected = append(affected, q)
+				}
+			}
+		}
+	}
+	o.coreLast = o.tracker.CoreLast(o.last)
+
+	// Propagate career changes to cell statuses and connections. The new
+	// object is always affected (its pairs carry fresh attachment info even
+	// when it never becomes core).
+	e.refresh(o)
+	for _, q := range affected {
+		e.refresh(q)
+	}
+}
+
+// refresh re-derives, for every neighbor pair (a, b) incident to a, the
+// cell-level lifespans that depend on a's (possibly just grown) career:
+//
+//   - cell(a)'s core-status lifespan (Lemma 5.1),
+//   - the core-core connection lifespan between cell(a) and cell(b)
+//     (Lemma 5.2),
+//   - the attachment lifespans in both directions (an edge cell is
+//     attached to a core cell while some object of it neighbors a live
+//     core of that cell, Definition 4.3).
+//
+// Because careers only ever grow, refreshing on every growth event keeps
+// the stored maxima exact; values below the current window are dead
+// information and are skipped.
+func (e *Extractor) refresh(a *object) {
+	ca := a.cell
+	if a.coreLast > ca.coreLast {
+		ca.coreLast = a.coreLast
+	}
+	live := 0
+	for _, b := range a.nbrs {
+		if b.last < e.cur { // expired neighbor: prune lazily
+			continue
+		}
+		a.nbrs[live] = b
+		live++
+		cb := b.cell
+		if cb == ca {
+			continue // intra-cell pairs need no connection meta-data
+		}
+		// Core-core connection (symmetric).
+		if v := min64(a.coreLast, b.coreLast); v >= e.cur {
+			ea := ca.conn(cb.coord)
+			if v > ea.coreLast {
+				ea.coreLast = v
+			}
+			eb := cb.conn(ca.coord)
+			if v > eb.coreLast {
+				eb.coreLast = v
+			}
+		}
+		// a-core side attachment: b stays attached to cell(a) while b is
+		// alive and a is core.
+		if v := min64(a.coreLast, b.last); v >= e.cur {
+			ea := ca.conn(cb.coord)
+			if v > ea.attachOut {
+				ea.attachOut = v
+			}
+		}
+		// b-core side attachment.
+		if v := min64(b.coreLast, a.last); v >= e.cur {
+			eb := cb.conn(ca.coord)
+			if v > eb.attachOut {
+				eb.attachOut = v
+			}
+		}
+	}
+	a.nbrs = a.nbrs[:live]
+}

@@ -1,0 +1,73 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"streamsum/internal/window"
+)
+
+// TestSkipSummariesIdenticalClusters verifies the SkipSummaries ablation
+// mode: full representations must be bit-identical with and without
+// summarization, and summaries must be absent when skipped.
+func TestSkipSummariesIdenticalClusters(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	pts := clusteredStream(rng, 1200, 2)
+	base := Config{Dim: 2, ThetaR: 0.5, ThetaC: 4,
+		Window: window.Spec{Win: 300, Slide: 100}}
+
+	full := base
+	full.SkipSummaries = true
+
+	exA, err := New(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exB, err := New(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ra, rb []*WindowResult
+	for _, p := range pts {
+		_, ea, err := exA.Push(p, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, eb, err := exB.Push(p, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ra = append(ra, ea...)
+		rb = append(rb, eb...)
+	}
+	if len(ra) != len(rb) || len(ra) == 0 {
+		t.Fatalf("window counts differ: %d vs %d", len(ra), len(rb))
+	}
+	for i := range ra {
+		if len(ra[i].Clusters) != len(rb[i].Clusters) {
+			t.Fatalf("window %d: cluster counts differ", i)
+		}
+		for j := range ra[i].Clusters {
+			a, b := ra[i].Clusters[j], rb[i].Clusters[j]
+			if a.Summary == nil {
+				t.Fatal("summarizing extractor produced no summary")
+			}
+			if b.Summary != nil {
+				t.Fatal("SkipSummaries produced a summary")
+			}
+			if len(a.Members) != len(b.Members) {
+				t.Fatalf("member counts differ: %d vs %d", len(a.Members), len(b.Members))
+			}
+			for k := range a.Members {
+				if a.Members[k] != b.Members[k] {
+					t.Fatal("members differ")
+				}
+			}
+			for k := range a.Cores {
+				if a.Cores[k] != b.Cores[k] {
+					t.Fatal("cores differ")
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,87 @@
+// Package crd implements the traditional "Centroid-Radius-Density"
+// cluster summarization (CRD) used as a baseline in §8: the statistical
+// description favored by k-means-style methods, which assumes spherical
+// clusters and uniform density. It is cheap to build (one scan) and cheap
+// to match (three subtractions) but blind to shape, connectivity and
+// density distribution — the features SGS exists to preserve.
+package crd
+
+import (
+	"fmt"
+	"math"
+
+	"streamsum/internal/geom"
+)
+
+// Summary is the CRD of one cluster.
+type Summary struct {
+	ID       int64
+	Window   int64
+	Centroid geom.Point
+	// Radius is the maximum distance from the centroid to any member.
+	Radius float64
+	// Density is the member count divided by the volume of the bounding
+	// ball (in the MBR-diagonal metric the paper's alternatives use, any
+	// monotone convention works; matching uses relative differences only).
+	Density float64
+	// Count is the number of members summarized.
+	Count int
+}
+
+// FromPoints builds the CRD of a cluster's full representation.
+func FromPoints(pts []geom.Point, id, window int64) (*Summary, error) {
+	if len(pts) == 0 {
+		return nil, fmt.Errorf("crd: empty cluster")
+	}
+	c := geom.Centroid(pts)
+	var r float64
+	for _, p := range pts {
+		if d := geom.Dist(c, p); d > r {
+			r = d
+		}
+	}
+	dim := float64(len(pts[0]))
+	vol := math.Pow(math.Max(r, 1e-9), dim)
+	return &Summary{
+		ID:       id,
+		Window:   window,
+		Centroid: c,
+		Radius:   r,
+		Density:  float64(len(pts)) / vol,
+		Count:    len(pts),
+	}, nil
+}
+
+// Size returns the storage footprint in bytes (centroid + radius + density
+// + count), used for the Fig. 8 memory comparison.
+func (s *Summary) Size() int { return 8*len(s.Centroid) + 8 + 8 + 8 }
+
+// Distance implements the CRD matching metric of §8.2: a subtraction
+// function giving equal weight to the three captured features (centroid,
+// range, density), each normalized to [0,1].
+func Distance(a, b *Summary) float64 {
+	// Centroid term: distance relative to the combined radii.
+	denom := a.Radius + b.Radius
+	var dc float64
+	if d := geom.Dist(a.Centroid, b.Centroid); d > 0 {
+		if denom <= 0 {
+			dc = 1
+		} else {
+			dc = math.Min(1, d/denom)
+		}
+	}
+	return (dc + relDiff(a.Radius, b.Radius) + relDiff(a.Density, b.Density)) / 3
+}
+
+// relDiff is |x-y| / max(x,y) clamped to [0,1]; 0 when both are zero.
+func relDiff(x, y float64) float64 {
+	m := math.Max(math.Abs(x), math.Abs(y))
+	if m == 0 {
+		return 0
+	}
+	d := math.Abs(x-y) / m
+	if d > 1 {
+		return 1
+	}
+	return d
+}

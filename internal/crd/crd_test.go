@@ -1,0 +1,95 @@
+package crd
+
+import (
+	"math"
+	"testing"
+
+	"streamsum/internal/geom"
+)
+
+func TestFromPoints(t *testing.T) {
+	pts := []geom.Point{{0, 0}, {2, 0}, {0, 2}, {2, 2}}
+	s, err := FromPoints(pts, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.Centroid.Equal(geom.Point{1, 1}) {
+		t.Errorf("centroid = %v", s.Centroid)
+	}
+	if math.Abs(s.Radius-math.Sqrt2) > 1e-12 {
+		t.Errorf("radius = %v", s.Radius)
+	}
+	if s.Count != 4 || s.ID != 1 || s.Window != 2 {
+		t.Errorf("metadata wrong: %+v", s)
+	}
+	if s.Size() <= 0 {
+		t.Error("size must be positive")
+	}
+	if _, err := FromPoints(nil, 0, 0); err == nil {
+		t.Error("empty cluster accepted")
+	}
+}
+
+func TestDistanceIdentityAndRange(t *testing.T) {
+	pts := []geom.Point{{0, 0}, {1, 0}, {0, 1}}
+	a, _ := FromPoints(pts, 0, 0)
+	if d := Distance(a, a); d != 0 {
+		t.Errorf("self distance = %v", d)
+	}
+	far := []geom.Point{{100, 100}, {101, 100}}
+	b, _ := FromPoints(far, 1, 0)
+	d := Distance(a, b)
+	if d <= 0 || d > 1 {
+		t.Errorf("distance out of range: %v", d)
+	}
+	if Distance(a, b) != Distance(b, a) {
+		t.Error("distance not symmetric")
+	}
+}
+
+func TestDistanceOrdersSimilarity(t *testing.T) {
+	base := []geom.Point{{0, 0}, {1, 0}, {0, 1}, {1, 1}}
+	near := []geom.Point{{0.1, 0}, {1.1, 0}, {0.1, 1}, {1.1, 1}}
+	far := []geom.Point{{50, 50}, {58, 50}, {50, 58}}
+	a, _ := FromPoints(base, 0, 0)
+	b, _ := FromPoints(near, 1, 0)
+	c, _ := FromPoints(far, 2, 0)
+	if Distance(a, b) >= Distance(a, c) {
+		t.Errorf("near cluster (%v) should be closer than far (%v)", Distance(a, b), Distance(a, c))
+	}
+}
+
+func TestSinglePointCluster(t *testing.T) {
+	s, err := FromPoints([]geom.Point{{3, 4}}, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Radius != 0 {
+		t.Errorf("radius = %v", s.Radius)
+	}
+	// Two coincident single-point clusters are identical.
+	s2, _ := FromPoints([]geom.Point{{3, 4}}, 1, 0)
+	if d := Distance(s, s2); d != 0 {
+		t.Errorf("identical singletons distance = %v", d)
+	}
+	// Disjoint singletons have centroid distance but zero radii → max term.
+	s3, _ := FromPoints([]geom.Point{{10, 10}}, 2, 0)
+	if d := Distance(s, s3); d < 0.3 {
+		t.Errorf("disjoint singletons too close: %v", d)
+	}
+}
+
+func TestRelDiff(t *testing.T) {
+	if relDiff(0, 0) != 0 {
+		t.Error("relDiff(0,0)")
+	}
+	if relDiff(1, 2) != 0.5 {
+		t.Error("relDiff(1,2)")
+	}
+	if relDiff(2, 1) != 0.5 {
+		t.Error("relDiff not symmetric")
+	}
+	if relDiff(0, 5) != 1 {
+		t.Error("relDiff(0,5)")
+	}
+}

@@ -1,0 +1,169 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+)
+
+// The experiment runners are exercised here at miniature scale — the point
+// is to verify the harness is correct end to end; the full-scale numbers
+// are produced by cmd/experiments and the benchmark suite.
+
+func TestRunFig7AllMethodsSmall(t *testing.T) {
+	data := sttData(Fig7Win+4*1000, 42)
+	var baseline Fig7Result
+	for _, method := range Methods {
+		res, err := RunFig7(Fig7Config{
+			Case: Cases[1], Slide: 1000, Method: method,
+			Windows: 3, Seed: 42, Data: &data,
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", method, err)
+		}
+		if res.Windows != 3 {
+			t.Fatalf("%s: %d windows", method, res.Windows)
+		}
+		if res.Clusters == 0 {
+			t.Fatalf("%s: no clusters", method)
+		}
+		if res.AvgResponse <= 0 {
+			t.Fatalf("%s: no timing", method)
+		}
+		switch method {
+		case "Extra-N", "C-SGS-full":
+			if method == "Extra-N" {
+				baseline = res
+			}
+			if res.SummaryBytes != 0 {
+				t.Fatalf("%s should produce no summaries", method)
+			}
+		default:
+			if res.SummaryBytes == 0 {
+				t.Fatalf("%s: no summary bytes", method)
+			}
+		}
+	}
+	if Fig7Overhead(baseline, baseline) != 0 {
+		t.Fatal("self overhead must be zero")
+	}
+}
+
+func TestRunFig7Validation(t *testing.T) {
+	small := sttData(100, 1)
+	if _, err := RunFig7(Fig7Config{Case: Cases[0], Slide: 1000, Method: "C-SGS",
+		Windows: 5, Data: &small}); err == nil {
+		t.Fatal("undersized data accepted")
+	}
+	data := sttData(Fig7Win+2000, 1)
+	if _, err := RunFig7(Fig7Config{Case: Cases[0], Slide: 1000, Method: "bogus",
+		Windows: 1, Data: &data}); err == nil {
+		t.Fatal("unknown method accepted")
+	}
+}
+
+func TestRunFig8Small(t *testing.T) {
+	results, err := RunFig8(Fig8Config{ArchiveSize: 30, Queries: 5, ExpensiveQueries: 2, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 4 {
+		t.Fatalf("%d methods", len(results))
+	}
+	byMethod := map[string]Fig8Result{}
+	for _, r := range results {
+		byMethod[r.Method] = r
+		if r.AvgQuery <= 0 {
+			t.Fatalf("%s: no timing", r.Method)
+		}
+		if r.StoreBytes <= 0 {
+			t.Fatalf("%s: no storage accounting", r.Method)
+		}
+	}
+	// The self-like targets come from the same generator; SGS should find
+	// matches and use its filter.
+	if byMethod["SGS"].FilterFrac <= 0 || byMethod["SGS"].FilterFrac > 1 {
+		t.Fatalf("SGS filter fraction %g", byMethod["SGS"].FilterFrac)
+	}
+	if byMethod["RSP"].QueriesRun != 2 || byMethod["SkPS"].QueriesRun != 2 {
+		t.Fatal("expensive query capping not applied")
+	}
+}
+
+func TestMatchStoresStats(t *testing.T) {
+	st, err := BuildMatchStores(20, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cr := st.CompressionRate()
+	if cr < 0.5 || cr >= 1 {
+		t.Fatalf("compression rate %.3f implausible", cr)
+	}
+	if st.AvgCellsPerCluster() <= 1 {
+		t.Fatalf("avg cells %.1f", st.AvgCellsPerCluster())
+	}
+	if len(st.Members) != 20 || len(st.Shapes) != 20 {
+		t.Fatal("store bookkeeping wrong")
+	}
+}
+
+func TestRunFig9Small(t *testing.T) {
+	results, err := RunFig9(Fig9Config{ArchiveSize: 40, Targets: 6, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 4 {
+		t.Fatalf("%d methods", len(results))
+	}
+	for _, r := range results {
+		if r.Tally.Total() == 0 {
+			t.Fatalf("%s: no rated matches", r.Method)
+		}
+		if r.Tally.Total() > 6*3 {
+			t.Fatalf("%s: too many rated matches (%d)", r.Method, r.Tally.Total())
+		}
+	}
+}
+
+func TestRunTimeVarSmall(t *testing.T) {
+	results, err := RunTimeVar(TimeVarConfig{Windows: 4, Tuples: 8000, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("%d methods", len(results))
+	}
+	for _, r := range results {
+		if r.Windows == 0 || r.AvgResponse <= 0 {
+			t.Fatalf("%s: %+v", r.Method, r)
+		}
+		if r.MaxResponse < r.AvgResponse {
+			t.Fatalf("%s: max %v < avg %v", r.Method, r.MaxResponse, r.AvgResponse)
+		}
+	}
+}
+
+func TestRunResolutionSmall(t *testing.T) {
+	results, err := RunResolution(ResolutionConfig{Levels: 2, Theta: 3,
+		ArchiveSize: 25, Targets: 5, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("%d levels", len(results))
+	}
+	// Coarser levels must store less and keep fewer cells.
+	for i := 1; i < len(results); i++ {
+		if results[i].StoreBytes >= results[i-1].StoreBytes {
+			t.Fatalf("level %d stores %d >= level %d's %d",
+				i, results[i].StoreBytes, i-1, results[i-1].StoreBytes)
+		}
+		if results[i].AvgCells >= results[i-1].AvgCells {
+			t.Fatal("cells did not shrink with level")
+		}
+	}
+	// Level 0 quality should be at least as good as the coarsest level.
+	if results[0].AvgTopSim+1e-9 < results[len(results)-1].AvgTopSim-0.1 {
+		t.Fatalf("finest level much worse than coarsest: %v", results)
+	}
+	_ = time.Duration(0)
+}

@@ -1,0 +1,64 @@
+package experiments
+
+import (
+	"sort"
+	"time"
+)
+
+// Latencies accumulates per-window response times and reports order
+// statistics; stream processing papers (and SLOs) care about tails, not
+// just means.
+type Latencies struct {
+	samples []time.Duration
+	sorted  bool
+}
+
+// Add records one sample.
+func (l *Latencies) Add(d time.Duration) {
+	l.samples = append(l.samples, d)
+	l.sorted = false
+}
+
+// Len returns the number of samples.
+func (l *Latencies) Len() int { return len(l.samples) }
+
+func (l *Latencies) sort() {
+	if !l.sorted {
+		sort.Slice(l.samples, func(i, j int) bool { return l.samples[i] < l.samples[j] })
+		l.sorted = true
+	}
+}
+
+// Mean returns the average sample.
+func (l *Latencies) Mean() time.Duration {
+	if len(l.samples) == 0 {
+		return 0
+	}
+	var sum time.Duration
+	for _, d := range l.samples {
+		sum += d
+	}
+	return sum / time.Duration(len(l.samples))
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1) by nearest-rank.
+func (l *Latencies) Quantile(q float64) time.Duration {
+	if len(l.samples) == 0 {
+		return 0
+	}
+	l.sort()
+	if q <= 0 {
+		return l.samples[0]
+	}
+	if q >= 1 {
+		return l.samples[len(l.samples)-1]
+	}
+	idx := int(q * float64(len(l.samples)))
+	if idx >= len(l.samples) {
+		idx = len(l.samples) - 1
+	}
+	return l.samples[idx]
+}
+
+// Max returns the largest sample.
+func (l *Latencies) Max() time.Duration { return l.Quantile(1) }

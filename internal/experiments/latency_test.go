@@ -1,0 +1,73 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+)
+
+func TestLatencies(t *testing.T) {
+	var l Latencies
+	if l.Mean() != 0 || l.Quantile(0.5) != 0 || l.Max() != 0 || l.Len() != 0 {
+		t.Fatal("empty latencies should report zeros")
+	}
+	for i := 1; i <= 100; i++ {
+		l.Add(time.Duration(i) * time.Millisecond)
+	}
+	if l.Len() != 100 {
+		t.Fatalf("Len = %d", l.Len())
+	}
+	if got := l.Mean(); got != 50500*time.Microsecond {
+		t.Fatalf("Mean = %v", got)
+	}
+	if got := l.Quantile(0.95); got < 95*time.Millisecond || got > 97*time.Millisecond {
+		t.Fatalf("P95 = %v", got)
+	}
+	if got := l.Max(); got != 100*time.Millisecond {
+		t.Fatalf("Max = %v", got)
+	}
+	if got := l.Quantile(0); got != 1*time.Millisecond {
+		t.Fatalf("P0 = %v", got)
+	}
+	// Adding after a quantile read must re-sort.
+	l.Add(200 * time.Millisecond)
+	if got := l.Max(); got != 200*time.Millisecond {
+		t.Fatalf("Max after Add = %v", got)
+	}
+}
+
+func TestFig9ByShape(t *testing.T) {
+	results, err := RunFig9(Fig9Config{ArchiveSize: 40, Targets: 8, Seed: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range results {
+		if len(r.ByShape) == 0 {
+			t.Fatalf("%s: no shape breakdown", r.Method)
+		}
+		total := 0
+		for shape, tl := range r.ByShape {
+			if shape == "" || shape == "unknown" {
+				t.Fatalf("%s: bad shape key %q", r.Method, shape)
+			}
+			total += tl.Total()
+		}
+		if total != r.Tally.Total() {
+			t.Fatalf("%s: shape tallies sum to %d, overall %d", r.Method, total, r.Tally.Total())
+		}
+	}
+}
+
+func TestFig7TailLatencies(t *testing.T) {
+	data := sttData(Fig7Win+3*1000, 3)
+	res, err := RunFig7(Fig7Config{Case: Cases[1], Slide: 1000, Method: "C-SGS",
+		Windows: 3, Seed: 3, Data: &data})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.P95Response <= 0 || res.MaxResponse <= 0 {
+		t.Fatalf("tail latencies missing: %+v", res)
+	}
+	if res.MaxResponse < res.P95Response {
+		t.Fatalf("max %v < p95 %v", res.MaxResponse, res.P95Response)
+	}
+}

@@ -1,0 +1,177 @@
+// Package featidx implements the non-locational feature index of the
+// Pattern Base (§7.1): a four-dimensional grid index over the cluster
+// features captured by SGS — volume (number of skeletal grid cells),
+// status count (number of core cells), average density, and average
+// connectivity.
+//
+// Because the matcher's feature distance is *relative* (|x-f|/min(x,f),
+// see §7.2's candidate-search example), the natural bucketing is
+// logarithmic: a relative range [f/(1+b), f·(1+b)] spans a bounded number
+// of log-scale buckets regardless of f's magnitude. Each dimension is
+// bucketed at a fixed number of buckets per octave.
+package featidx
+
+import (
+	"math"
+)
+
+// bucketsPerOctave controls grid granularity: higher = finer buckets,
+// more buckets probed per query but fewer false candidates per bucket.
+const bucketsPerOctave = 4
+
+// Entry is an indexed feature vector.
+type Entry struct {
+	ID int64
+	V  [4]float64
+}
+
+type key [4]int16
+
+// Index is the 4-D feature grid. The zero value is unusable; call New.
+type Index struct {
+	cells map[key][]Entry
+	size  int
+}
+
+// New returns an empty feature index.
+func New() *Index {
+	return &Index{cells: make(map[key][]Entry)}
+}
+
+// Len returns the number of indexed entries.
+func (ix *Index) Len() int { return ix.size }
+
+// bucket maps a non-negative feature value to its log-scale bucket.
+// Values in [0,1) share bucket 0 (features are counts and averages; sub-1
+// fractional values are only meaningful for density, where the relative
+// metric keeps them adjacent anyway).
+func bucket(v float64) int16 {
+	if v < 1 {
+		return 0
+	}
+	b := math.Log2(v) * bucketsPerOctave
+	if b > 32000 {
+		return 32000
+	}
+	return int16(b) + 1
+}
+
+func keyOf(v [4]float64) key {
+	return key{bucket(v[0]), bucket(v[1]), bucket(v[2]), bucket(v[3])}
+}
+
+// Insert adds a feature vector under the given id. Negative feature values
+// are clamped to zero (features are non-negative by construction).
+func (ix *Index) Insert(id int64, v [4]float64) {
+	for i := range v {
+		if v[i] < 0 {
+			v[i] = 0
+		}
+	}
+	k := keyOf(v)
+	ix.cells[k] = append(ix.cells[k], Entry{ID: id, V: v})
+	ix.size++
+}
+
+// Remove deletes the entry with the given id and vector; it returns true
+// if an entry was removed.
+func (ix *Index) Remove(id int64, v [4]float64) bool {
+	for i := range v {
+		if v[i] < 0 {
+			v[i] = 0
+		}
+	}
+	k := keyOf(v)
+	cell := ix.cells[k]
+	for i := range cell {
+		if cell[i].ID == id {
+			cell[i] = cell[len(cell)-1]
+			cell = cell[:len(cell)-1]
+			if len(cell) == 0 {
+				delete(ix.cells, k)
+			} else {
+				ix.cells[k] = cell
+			}
+			ix.size--
+			return true
+		}
+	}
+	return false
+}
+
+// Search visits every entry whose vector lies inside the inclusive
+// hyper-rectangle [lo, hi] (component-wise). Iteration stops early if
+// visit returns false. Infinite hi bounds are supported (unweighted
+// dimensions search the whole axis).
+func (ix *Index) Search(lo, hi [4]float64, visit func(Entry) bool) {
+	var bLo, bHi [4]int16
+	probes := 1
+	for d := 0; d < 4; d++ {
+		l := lo[d]
+		if l < 0 {
+			l = 0
+		}
+		bLo[d] = bucket(l)
+		if math.IsInf(hi[d], 1) {
+			bHi[d] = -1 // sentinel: unbounded
+		} else {
+			bHi[d] = bucket(hi[d])
+			probes *= int(bHi[d]-bLo[d]) + 1
+		}
+	}
+	// If any dimension is unbounded or the probe box is larger than the
+	// population, scanning all cells is cheaper than enumerating buckets.
+	if bHi[0] < 0 || bHi[1] < 0 || bHi[2] < 0 || bHi[3] < 0 || probes > len(ix.cells) {
+		for k, cell := range ix.cells {
+			if !inKeyRange(k, bLo, bHi) {
+				continue
+			}
+			if !visitCell(cell, lo, hi, visit) {
+				return
+			}
+		}
+		return
+	}
+	var k key
+	for k[0] = bLo[0]; k[0] <= bHi[0]; k[0]++ {
+		for k[1] = bLo[1]; k[1] <= bHi[1]; k[1]++ {
+			for k[2] = bLo[2]; k[2] <= bHi[2]; k[2]++ {
+				for k[3] = bLo[3]; k[3] <= bHi[3]; k[3]++ {
+					if cell, ok := ix.cells[k]; ok {
+						if !visitCell(cell, lo, hi, visit) {
+							return
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func inKeyRange(k key, lo, hi [4]int16) bool {
+	for d := 0; d < 4; d++ {
+		if k[d] < lo[d] {
+			return false
+		}
+		if hi[d] >= 0 && k[d] > hi[d] {
+			return false
+		}
+	}
+	return true
+}
+
+func visitCell(cell []Entry, lo, hi [4]float64, visit func(Entry) bool) bool {
+	for _, e := range cell {
+		in := true
+		for d := 0; d < 4; d++ {
+			if e.V[d] < lo[d] || e.V[d] > hi[d] {
+				in = false
+				break
+			}
+		}
+		if in && !visit(e) {
+			return false
+		}
+	}
+	return true
+}

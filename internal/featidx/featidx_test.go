@@ -1,0 +1,158 @@
+package featidx
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestInsertSearchRemove(t *testing.T) {
+	ix := New()
+	ix.Insert(1, [4]float64{10, 5, 2.5, 1.2})
+	ix.Insert(2, [4]float64{100, 50, 25, 3})
+	ix.Insert(3, [4]float64{12, 6, 2.4, 1.1})
+	if ix.Len() != 3 {
+		t.Fatalf("Len = %d", ix.Len())
+	}
+	var got []int64
+	ix.Search([4]float64{8, 4, 2, 1}, [4]float64{15, 8, 3, 1.5}, func(e Entry) bool {
+		got = append(got, e.ID)
+		return true
+	})
+	sort.Slice(got, func(i, j int) bool { return got[i] < got[j] })
+	if len(got) != 2 || got[0] != 1 || got[1] != 3 {
+		t.Fatalf("search = %v", got)
+	}
+	if !ix.Remove(1, [4]float64{10, 5, 2.5, 1.2}) {
+		t.Fatal("remove failed")
+	}
+	if ix.Remove(1, [4]float64{10, 5, 2.5, 1.2}) {
+		t.Fatal("double remove succeeded")
+	}
+	if ix.Len() != 2 {
+		t.Fatalf("Len after remove = %d", ix.Len())
+	}
+}
+
+func TestUnboundedDimension(t *testing.T) {
+	ix := New()
+	for i := 0; i < 100; i++ {
+		ix.Insert(int64(i), [4]float64{float64(i), float64(i % 10), 1, 1})
+	}
+	inf := math.Inf(1)
+	count := 0
+	ix.Search([4]float64{0, 3, 0, 0}, [4]float64{inf, 3, inf, inf}, func(e Entry) bool {
+		count++
+		if e.V[1] != 3 {
+			t.Fatalf("entry outside range: %v", e.V)
+		}
+		return true
+	})
+	if count != 10 {
+		t.Fatalf("count = %d, want 10", count)
+	}
+}
+
+func TestSearchMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	ix := New()
+	type rec struct {
+		id int64
+		v  [4]float64
+	}
+	var all []rec
+	for i := 0; i < 2000; i++ {
+		v := [4]float64{
+			math.Exp(rng.Float64() * 8), // volume: 1..3000
+			math.Exp(rng.Float64() * 6), // status count
+			rng.Float64() * 1000,        // density
+			rng.Float64() * 8,           // connectivity
+		}
+		ix.Insert(int64(i), v)
+		all = append(all, rec{int64(i), v})
+	}
+	for trial := 0; trial < 60; trial++ {
+		f := all[rng.Intn(len(all))].v
+		b := 0.1 + rng.Float64()
+		var lo, hi [4]float64
+		for d := 0; d < 4; d++ {
+			lo[d] = f[d] / (1 + b)
+			hi[d] = f[d] * (1 + b)
+		}
+		var got []int64
+		ix.Search(lo, hi, func(e Entry) bool {
+			got = append(got, e.ID)
+			return true
+		})
+		var want []int64
+		for _, r := range all {
+			in := true
+			for d := 0; d < 4; d++ {
+				if r.v[d] < lo[d] || r.v[d] > hi[d] {
+					in = false
+					break
+				}
+			}
+			if in {
+				want = append(want, r.id)
+			}
+		}
+		sort.Slice(got, func(i, j int) bool { return got[i] < got[j] })
+		sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: %d hits, want %d", trial, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d: results differ", trial)
+			}
+		}
+	}
+}
+
+func TestEarlyStop(t *testing.T) {
+	ix := New()
+	for i := 0; i < 50; i++ {
+		ix.Insert(int64(i), [4]float64{5, 5, 5, 5})
+	}
+	visits := 0
+	ix.Search([4]float64{0, 0, 0, 0}, [4]float64{10, 10, 10, 10}, func(Entry) bool {
+		visits++
+		return visits < 5
+	})
+	if visits != 5 {
+		t.Fatalf("visits = %d", visits)
+	}
+}
+
+func TestZeroAndNegativeValues(t *testing.T) {
+	ix := New()
+	ix.Insert(1, [4]float64{0, 0, 0, 0})
+	ix.Insert(2, [4]float64{-1, 0, 0, 0}) // clamped to 0
+	count := 0
+	ix.Search([4]float64{0, 0, 0, 0}, [4]float64{0.5, 0.5, 0.5, 0.5}, func(Entry) bool {
+		count++
+		return true
+	})
+	if count != 2 {
+		t.Fatalf("count = %d", count)
+	}
+	if !ix.Remove(2, [4]float64{-1, 0, 0, 0}) {
+		t.Fatal("remove with clamped vector failed")
+	}
+}
+
+func TestBucketMonotone(t *testing.T) {
+	prev := int16(-1)
+	for _, v := range []float64{0, 0.5, 1, 2, 4, 10, 100, 1e6, 1e30} {
+		b := bucket(v)
+		if b < prev {
+			t.Fatalf("bucket not monotone at %g", v)
+		}
+		prev = b
+	}
+	if bucket(1e300) <= 0 {
+		t.Fatal("huge value bucket overflowed")
+	}
+}

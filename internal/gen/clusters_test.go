@@ -1,0 +1,110 @@
+package gen
+
+import (
+	"testing"
+
+	"streamsum/internal/dbscan"
+)
+
+func TestClustersShapesAndDeterminism(t *testing.T) {
+	cs := Clusters(ClustersConfig{Seed: 1}, 10)
+	if len(cs) != 10 {
+		t.Fatalf("%d clusters", len(cs))
+	}
+	seen := map[ShapeFamily]int{}
+	for i, c := range cs {
+		if len(c.Points) < 150 {
+			t.Fatalf("cluster %d has %d points", i, len(c.Points))
+		}
+		for _, p := range c.Points {
+			if len(p) != 2 {
+				t.Fatal("default dim should be 2")
+			}
+		}
+		seen[c.Shape]++
+	}
+	// Cycling through families: all five present in 10 clusters.
+	if len(seen) != int(numShapes) {
+		t.Fatalf("only %d shape families in %v", len(seen), seen)
+	}
+	// Determinism.
+	cs2 := Clusters(ClustersConfig{Seed: 1}, 10)
+	for i := range cs {
+		if len(cs[i].Points) != len(cs2[i].Points) || !cs[i].Points[0].Equal(cs2[i].Points[0]) {
+			t.Fatal("same seed differs")
+		}
+	}
+}
+
+func TestClustersFormDensityClusters(t *testing.T) {
+	// Every generated shape must actually be a density-based cluster at
+	// the matching parameters (θr=0.8, θc=5): the largest DBSCAN cluster
+	// should capture most of the points.
+	cs := Clusters(ClustersConfig{Seed: 2}, int(numShapes))
+	for _, c := range cs {
+		ids := make([]int64, len(c.Points))
+		for i := range ids {
+			ids[i] = int64(i)
+		}
+		res, err := dbscan.Run(c.Points, ids, dbscan.Params{ThetaR: 0.8, ThetaC: 5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Clusters) == 0 {
+			t.Fatalf("shape %v produced no cluster", c.Shape)
+		}
+		best := 0
+		for i, cl := range res.Clusters {
+			if len(cl.Members) > len(res.Clusters[best].Members) {
+				best = i
+			}
+		}
+		frac := float64(len(res.Clusters[best].Members)) / float64(len(c.Points))
+		if frac < 0.5 {
+			t.Fatalf("shape %v: largest cluster only %.0f%% of points", c.Shape, frac*100)
+		}
+	}
+}
+
+func TestClusters4D(t *testing.T) {
+	cs := Clusters(ClustersConfig{Seed: 3, Dim: 4}, 5)
+	for _, c := range cs {
+		for _, p := range c.Points {
+			if len(p) != 4 {
+				t.Fatal("dim 4 ignored")
+			}
+		}
+	}
+}
+
+func TestPerturb(t *testing.T) {
+	src := Clusters(ClustersConfig{Seed: 4}, 1)[0]
+	p := Perturb(src, 0.1, 5, 99)
+	if p.Shape != src.Shape {
+		t.Fatal("shape lost")
+	}
+	// ~5% dropped.
+	if len(p.Points) >= len(src.Points) || len(p.Points) < len(src.Points)*8/10 {
+		t.Fatalf("perturbed size %d of %d", len(p.Points), len(src.Points))
+	}
+	// Deterministic given seed.
+	p2 := Perturb(src, 0.1, 5, 99)
+	if len(p.Points) != len(p2.Points) || !p.Points[0].Equal(p2.Points[0]) {
+		t.Fatal("perturbation not deterministic")
+	}
+	// Points actually moved.
+	if p.Points[0].Equal(src.Points[0]) {
+		t.Fatal("no jitter applied")
+	}
+}
+
+func TestShapeFamilyString(t *testing.T) {
+	for s, want := range map[ShapeFamily]string{
+		ShapeBlob: "blob", ShapeElongated: "elongated", ShapeRing: "ring",
+		ShapeTwoLobe: "two-lobe", ShapeBend: "bend", ShapeFamily(99): "unknown",
+	} {
+		if s.String() != want {
+			t.Errorf("%d.String() = %q", s, s.String())
+		}
+	}
+}

@@ -1,0 +1,173 @@
+package gen
+
+import (
+	"testing"
+
+	"streamsum/internal/dbscan"
+)
+
+func TestSTTBasics(t *testing.T) {
+	b := STT(STTConfig{Seed: 1}, 5000)
+	if len(b.Points) != 5000 || len(b.TS) != 5000 {
+		t.Fatalf("sizes: %d points, %d ts", len(b.Points), len(b.TS))
+	}
+	prev := int64(-1)
+	for i, p := range b.Points {
+		if len(p) != 4 {
+			t.Fatalf("point %d has dim %d", i, len(p))
+		}
+		if p[0] != 0 && p[0] != 1 {
+			t.Fatalf("type attribute %g not in {0,1}", p[0])
+		}
+		if b.TS[i] < prev {
+			t.Fatal("timestamps not monotone")
+		}
+		prev = b.TS[i]
+	}
+}
+
+func TestSTTDeterministic(t *testing.T) {
+	a := STT(STTConfig{Seed: 7}, 1000)
+	b := STT(STTConfig{Seed: 7}, 1000)
+	for i := range a.Points {
+		if !a.Points[i].Equal(b.Points[i]) {
+			t.Fatal("same seed produced different streams")
+		}
+	}
+	c := STT(STTConfig{Seed: 8}, 1000)
+	same := true
+	for i := range a.Points {
+		if !a.Points[i].Equal(c.Points[i]) {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical streams")
+	}
+}
+
+func TestSTTProducesClusters(t *testing.T) {
+	// The paper's case-2 parameters (θr=0.1, θc=8) must find
+	// intensive-transaction clusters in a 10K window.
+	b := STT(STTConfig{Seed: 3}, 10000)
+	ids := make([]int64, len(b.Points))
+	for i := range ids {
+		ids[i] = int64(i)
+	}
+	res, err := dbscan.Run(b.Points, ids, dbscan.Params{ThetaR: 0.1, ThetaC: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Clusters) < 3 {
+		t.Fatalf("only %d clusters in a 10K STT window", len(res.Clusters))
+	}
+	clustered := 0
+	for _, c := range res.Clusters {
+		clustered += len(c.Members)
+	}
+	if frac := float64(clustered) / float64(len(b.Points)); frac < 0.2 || frac > 0.99 {
+		t.Fatalf("clustered fraction %.2f implausible", frac)
+	}
+}
+
+func TestGMTIBasics(t *testing.T) {
+	b := GMTI(GMTIConfig{Seed: 1}, 5000)
+	if len(b.Points) != 5000 {
+		t.Fatalf("size %d", len(b.Points))
+	}
+	for _, p := range b.Points {
+		if len(p) != 2 {
+			t.Fatal("default GMTI should be 2-D")
+		}
+		if p[0] < -10 || p[0] > 110 || p[1] < -10 || p[1] > 110 {
+			t.Fatalf("point %v far outside region", p)
+		}
+	}
+	b4 := GMTI(GMTIConfig{Dim: 4, Seed: 1}, 100)
+	for _, p := range b4.Points {
+		if len(p) != 4 {
+			t.Fatal("Dim 4 ignored")
+		}
+		if p[2] < -50 || p[2] > 350 {
+			t.Fatalf("speed %g outside plausible mph range", p[2])
+		}
+	}
+}
+
+func TestGMTIProducesMovingClusters(t *testing.T) {
+	b := GMTI(GMTIConfig{Seed: 2}, 12000)
+	ids := make([]int64, 4000)
+	for i := range ids {
+		ids[i] = int64(i)
+	}
+	// First window.
+	res1, err := dbscan.Run(b.Points[:4000], ids, dbscan.Params{ThetaR: 1.0, ThetaC: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res1.Clusters) < 2 {
+		t.Fatalf("only %d clusters in first GMTI window", len(res1.Clusters))
+	}
+	// A later window should still have clusters (convoys persist).
+	res2, err := dbscan.Run(b.Points[8000:12000], ids, dbscan.Params{ThetaR: 1.0, ThetaC: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res2.Clusters) < 2 {
+		t.Fatalf("only %d clusters in later GMTI window", len(res2.Clusters))
+	}
+}
+
+func TestExtend(t *testing.T) {
+	b := STT(STTConfig{Seed: 4}, 2000)
+	e := Extend(b, 7000, 0.01, 99)
+	if len(e.Points) != 7000 || len(e.TS) != 7000 {
+		t.Fatalf("extended size %d/%d", len(e.Points), len(e.TS))
+	}
+	// Original prefix unchanged.
+	for i := 0; i < 2000; i++ {
+		if !e.Points[i].Equal(b.Points[i]) {
+			t.Fatal("Extend modified the original prefix")
+		}
+	}
+	// Appended rounds are perturbed, not identical.
+	identical := true
+	for i := 0; i < 2000 && 2000+i < 7000; i++ {
+		if !e.Points[2000+i].Equal(b.Points[i]) {
+			identical = false
+			break
+		}
+	}
+	if identical {
+		t.Fatal("appended round not perturbed")
+	}
+	// Timestamps stay monotone across rounds.
+	for i := 1; i < len(e.TS); i++ {
+		if e.TS[i] < e.TS[i-1] {
+			t.Fatal("Extend broke timestamp monotonicity")
+		}
+	}
+	// No-ops.
+	if got := Extend(b, 1000, 0.01, 1); len(got.Points) != 2000 {
+		t.Fatal("Extend should not shrink")
+	}
+	if got := Extend(Batch{}, 100, 0.01, 1); len(got.Points) != 0 {
+		t.Fatal("Extend of empty batch should be empty")
+	}
+}
+
+func TestBatchAppend(t *testing.T) {
+	a := STT(STTConfig{Seed: 5}, 500)
+	c := STT(STTConfig{Seed: 6}, 500)
+	n := len(a.Points)
+	a.Append(c)
+	if len(a.Points) != n+500 {
+		t.Fatalf("append size %d", len(a.Points))
+	}
+	for i := 1; i < len(a.TS); i++ {
+		if a.TS[i] < a.TS[i-1] {
+			t.Fatal("Append broke monotonicity")
+		}
+	}
+}

@@ -1,0 +1,144 @@
+package match
+
+import (
+	"container/heap"
+	"math"
+
+	"streamsum/internal/grid"
+	"streamsum/internal/sgs"
+)
+
+// This file implements the refine phase: the grid-cell-level cluster match
+// of §7.2. Two summaries are compared cell by cell under an alignment — a
+// location-shifting vector in cell units. A skeletal grid cell of the
+// target either has a corresponding cell in the candidate (their features
+// are compared) or it does not (maximum difference 1, "its corresponding
+// sub-region ... can be viewed as an empty grid").
+
+// zeroAlign is the identity alignment used by position-sensitive queries.
+func zeroAlign(dim int) grid.Coord {
+	var c grid.Coord
+	c.D = uint8(dim)
+	return c
+}
+
+// CellDistance returns the grid-cell-level distance between summaries a
+// and b under the given alignment: the mean, over the union of (aligned)
+// occupied cells, of the per-cell difference; per-cell differences average
+// the status, density and connectivity features. The result is in [0,1].
+func CellDistance(a, b *sgs.Summary, align grid.Coord) float64 {
+	if a.NumCells() == 0 && b.NumCells() == 0 {
+		return 0
+	}
+	if a.NumCells() == 0 || b.NumCells() == 0 {
+		return 1
+	}
+	matched := 0
+	var sum float64
+	for i := range a.Cells {
+		ca := &a.Cells[i]
+		cb := b.Find(ca.Coord.Add(align))
+		if cb == nil {
+			sum += 1
+			continue
+		}
+		matched++
+		sum += cellDiff(ca, cb)
+	}
+	// Cells of b with no counterpart in a.
+	sum += float64(b.NumCells() - matched)
+	union := a.NumCells() + b.NumCells() - matched
+	return sum / float64(union)
+}
+
+// cellDiff compares the three cell-level features with equal weight.
+func cellDiff(a, b *sgs.Cell) float64 {
+	var status float64
+	if a.Status != b.Status {
+		status = 1
+	}
+	density := relDist(float64(a.Population), float64(b.Population))
+	conn := relDist(float64(len(a.Conns)), float64(len(b.Conns)))
+	return (status + density + conn) / 3
+}
+
+// alignItem is a priority-queue entry for the anytime search.
+type alignItem struct {
+	align grid.Coord
+	dist  float64
+}
+
+type alignHeap []alignItem
+
+func (h alignHeap) Len() int            { return len(h) }
+func (h alignHeap) Less(i, j int) bool  { return h[i].dist < h[j].dist }
+func (h alignHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *alignHeap) Push(x interface{}) { *h = append(*h, x.(alignItem)) }
+func (h *alignHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// BestAlignment runs the A*-style anytime search of §7.2 for the alignment
+// minimizing CellDistance(a, b, align): it starts from the alignment that
+// overlaps the two summaries' MBR centers, then repeatedly expands the most
+// promising alignment's 2·dim axis neighbors, stopping after budget
+// distance evaluations. It returns the best distance found and its
+// alignment. Exhaustive optimality is not guaranteed — by design: the
+// paper trades optimality for bounded online latency.
+func BestAlignment(a, b *sgs.Summary, budget int) (float64, grid.Coord) {
+	dim := a.Dim
+	start := centerAlign(a, b)
+	if budget < 1 {
+		budget = 1
+	}
+	visited := map[grid.Coord]bool{start: true}
+	h := &alignHeap{{align: start, dist: CellDistance(a, b, start)}}
+	heap.Init(h)
+	evals := 1
+	best := (*h)[0]
+	for h.Len() > 0 && evals < budget {
+		cur := heap.Pop(h).(alignItem)
+		if cur.dist < best.dist {
+			best = cur
+		}
+		// Expand axis neighbors (the "nearby" alignments of §7.2).
+		for d := 0; d < dim && evals < budget; d++ {
+			for _, delta := range [2]int32{-1, 1} {
+				nb := cur.align
+				nb.C[d] += delta
+				if visited[nb] {
+					continue
+				}
+				visited[nb] = true
+				nd := CellDistance(a, b, nb)
+				evals++
+				if nd < best.dist {
+					best = alignItem{align: nb, dist: nd}
+				}
+				heap.Push(h, alignItem{align: nb, dist: nd})
+				if evals >= budget {
+					break
+				}
+			}
+		}
+	}
+	return best.dist, best.align
+}
+
+// centerAlign computes the starting alignment: the cell-unit offset that
+// best overlaps the two summaries' MBR centers ("we start with an
+// alignment that makes two clusters well overlapped").
+func centerAlign(a, b *sgs.Summary) grid.Coord {
+	ca := a.MBR().Center()
+	cb := b.MBR().Center()
+	var off grid.Coord
+	off.D = uint8(a.Dim)
+	for d := 0; d < a.Dim; d++ {
+		off.C[d] = int32(math.Round((cb[d] - ca[d]) / a.Side))
+	}
+	return off
+}

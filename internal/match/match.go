@@ -1,0 +1,220 @@
+// Package match implements the Pattern Analyzer (§7.2): execution of
+// cluster matching queries (Figure 3) against the pattern base.
+//
+// The distance metric is the paper's customizable form
+//
+//	Dist(Ca, Cb) = ps·Dist_location + Σ wi·Dist_nlf_i(Ca, Cb)
+//
+// with ps ∈ {0,1} selecting position-sensitive matching, Dist_location ∈
+// {0,1} indicating MBR overlap, and four weighted non-locational feature
+// distances (volume, status count, average density, average connectivity),
+// each |x−f| / min(x,f) clamped to [0,1] as in the paper's candidate-search
+// example.
+//
+// Query execution is filter-and-refine: the filter phase probes the
+// pattern base's locational (R-tree) or non-locational (4-D grid) index
+// with ranges derived from the distance threshold, evaluates the exact
+// cluster-level feature distance on the returned candidates, and only the
+// survivors reach the refine phase — the grid-cell-level match, under the
+// best alignment found by an A*-style anytime search (position-insensitive
+// case) or the identity alignment (position-sensitive case).
+package match
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"streamsum/internal/archive"
+	"streamsum/internal/sgs"
+)
+
+// Weights configures the distance metric. The four feature weights must be
+// non-negative and sum to 1.
+type Weights struct {
+	PositionSensitive bool
+	Volume            float64
+	Status            float64
+	Density           float64
+	Connectivity      float64
+}
+
+// EqualWeights gives every non-locational feature weight 0.25 (the setting
+// used throughout the paper's experiments), position-insensitive.
+func EqualWeights() Weights {
+	return Weights{Volume: 0.25, Status: 0.25, Density: 0.25, Connectivity: 0.25}
+}
+
+// Validate checks the weight vector.
+func (w Weights) Validate() error {
+	for _, v := range []float64{w.Volume, w.Status, w.Density, w.Connectivity} {
+		if v < 0 {
+			return fmt.Errorf("match: negative weight %g", v)
+		}
+	}
+	sum := w.Volume + w.Status + w.Density + w.Connectivity
+	if math.Abs(sum-1) > 1e-9 {
+		return fmt.Errorf("match: weights sum to %g, want 1", sum)
+	}
+	return nil
+}
+
+// Query is one cluster matching query (Figure 3).
+type Query struct {
+	// Target is the to-be-matched cluster's SGS. Its resolution should
+	// match the archive's (compress it first if needed).
+	Target *sgs.Summary
+	// Threshold is the maximum distance for a match (sim_threshold).
+	Threshold float64
+	// Weights configures the metric; zero value means EqualWeights.
+	Weights *Weights
+	// Limit, when positive, returns only the closest Limit matches
+	// (top-k); the threshold still applies.
+	Limit int
+	// AlignBudget bounds the number of alignments evaluated by the anytime
+	// search in the position-insensitive refine phase (default 64).
+	AlignBudget int
+}
+
+// Match is one result of a matching query.
+type Match struct {
+	ID       int64
+	Distance float64
+	Entry    *archive.Entry
+}
+
+// Stats reports filter-and-refine effectiveness: how many candidates the
+// index returned and how many survived to the grid-cell-level match (the
+// paper reports ~6% reaching the grid level, §8.2).
+type Stats struct {
+	IndexCandidates int
+	Refined         int
+}
+
+// Run executes the query against the pattern base and returns matches
+// sorted by ascending distance.
+func Run(b *archive.Base, q Query) ([]Match, Stats, error) {
+	var st Stats
+	if q.Target == nil || q.Target.NumCells() == 0 {
+		return nil, st, fmt.Errorf("match: empty target")
+	}
+	if q.Threshold < 0 || q.Threshold > 1 {
+		return nil, st, fmt.Errorf("match: threshold %g out of [0,1]", q.Threshold)
+	}
+	w := EqualWeights()
+	if q.Weights != nil {
+		w = *q.Weights
+	}
+	if err := w.Validate(); err != nil {
+		return nil, st, err
+	}
+	budget := q.AlignBudget
+	if budget <= 0 {
+		budget = 64
+	}
+
+	targetFeat := q.Target.Features().Vector()
+	targetMBR := q.Target.MBR()
+
+	// --- Filter phase ------------------------------------------------------
+	var candidates []*archive.Entry
+	if w.PositionSensitive {
+		// Non-overlapping clusters have Dist_location = 1 ≥ any threshold
+		// < 1, so the R-tree overlap probe is exact for the location term.
+		b.SearchLocation(targetMBR, func(e *archive.Entry) bool {
+			candidates = append(candidates, e)
+			return true
+		})
+	} else {
+		lo, hi := FeatureRanges(targetFeat, w, q.Threshold)
+		b.SearchFeatures(lo, hi, func(e *archive.Entry) bool {
+			candidates = append(candidates, e)
+			return true
+		})
+	}
+	st.IndexCandidates = len(candidates)
+
+	// Exact cluster-level feature distance on the candidates; only those
+	// within the threshold proceed to the expensive grid-level match.
+	var matches []Match
+	for _, e := range candidates {
+		fd := FeatureDistance(targetFeat, e.Features.Vector(), w)
+		if fd > q.Threshold {
+			continue
+		}
+		st.Refined++
+		// --- Refine phase: grid-cell-level cluster match ----------------
+		var d float64
+		if w.PositionSensitive {
+			d = CellDistance(q.Target, e.Summary, zeroAlign(q.Target.Dim))
+		} else {
+			d, _ = BestAlignment(q.Target, e.Summary, budget)
+		}
+		if d <= q.Threshold {
+			matches = append(matches, Match{ID: e.ID, Distance: d, Entry: e})
+		}
+	}
+	sort.Slice(matches, func(i, j int) bool {
+		if matches[i].Distance != matches[j].Distance {
+			return matches[i].Distance < matches[j].Distance
+		}
+		return matches[i].ID < matches[j].ID
+	})
+	if q.Limit > 0 && len(matches) > q.Limit {
+		matches = matches[:q.Limit]
+	}
+	return matches, st, nil
+}
+
+// FeatureDistance is the cluster-level metric Σ wi·di with
+// di = |x−f|/min(x,f) clamped to [0,1] (the location term is handled by
+// the caller's index probe).
+func FeatureDistance(a, b [4]float64, w Weights) float64 {
+	ws := [4]float64{w.Volume, w.Status, w.Density, w.Connectivity}
+	var sum float64
+	for d := 0; d < 4; d++ {
+		sum += ws[d] * relDist(a[d], b[d])
+	}
+	return sum
+}
+
+// relDist is the paper's relative feature distance: |x−f| / min(x,f),
+// clamped to [0,1]. Zero features match only themselves.
+func relDist(x, f float64) float64 {
+	if x == f {
+		return 0
+	}
+	m := math.Min(x, f)
+	if m <= 0 {
+		return 1
+	}
+	d := math.Abs(x-f) / m
+	if d > 1 {
+		return 1
+	}
+	return d
+}
+
+// FeatureRanges inverts the metric: the candidate search range per feature
+// dimension such that any cluster outside it necessarily exceeds the
+// threshold (the §7.2 example: volume 20, weight 0.4, threshold 0.2 →
+// range [14, 30]). A zero-weight dimension is unbounded.
+func FeatureRanges(f [4]float64, w Weights, threshold float64) (lo, hi [4]float64) {
+	ws := [4]float64{w.Volume, w.Status, w.Density, w.Connectivity}
+	for d := 0; d < 4; d++ {
+		if ws[d] == 0 {
+			lo[d], hi[d] = 0, math.Inf(1)
+			continue
+		}
+		bound := threshold / ws[d]
+		if bound >= 1 {
+			// A full-range mismatch on this feature alone cannot be
+			// excluded; the dimension is effectively unbounded.
+			lo[d], hi[d] = 0, math.Inf(1)
+			continue
+		}
+		lo[d] = f[d] / (1 + bound)
+		hi[d] = f[d] * (1 + bound)
+	}
+	return lo, hi
+}

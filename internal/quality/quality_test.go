@@ -1,0 +1,183 @@
+package quality
+
+import (
+	"math/rand"
+	"testing"
+
+	"streamsum/internal/geom"
+	"streamsum/internal/grid"
+)
+
+func mustOracle(t *testing.T) *Oracle {
+	t.Helper()
+	o, err := NewOracle(2, 0.25, DefaultThresholds())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return o
+}
+
+func blob(rng *rand.Rand, n int, cx, cy, sx, sy float64) []geom.Point {
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		pts[i] = geom.Point{cx + rng.NormFloat64()*sx, cy + rng.NormFloat64()*sy}
+	}
+	return pts
+}
+
+func TestOracleValidation(t *testing.T) {
+	if _, err := NewOracle(2, 0.25, Thresholds{Very: 0.2, Similar: 0.5}); err == nil {
+		t.Error("inverted thresholds accepted")
+	}
+	if _, err := NewOracle(0, 0.25, DefaultThresholds()); err == nil {
+		t.Error("bad dim accepted")
+	}
+}
+
+func TestSelfSimilarityIsOne(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	o := mustOracle(t)
+	pts := blob(rng, 300, 5, 5, 1, 1)
+	o.AddCluster(1, pts)
+	sim, err := o.Similarity(pts, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sim != 1 {
+		t.Fatalf("self similarity = %g", sim)
+	}
+	if o.Rate(sim) != VerySimilar {
+		t.Fatal("self should be very similar")
+	}
+}
+
+func TestTranslationInvariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	o := mustOracle(t)
+	pts := blob(rng, 300, 0, 0, 1, 1)
+	moved := make([]geom.Point, len(pts))
+	for i, p := range pts {
+		moved[i] = p.Add(geom.Point{123.4, -56.7})
+	}
+	o.AddCluster(1, pts)
+	sim, err := o.Similarity(moved, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Centroid alignment makes a pure translation near-identical (cell
+	// quantization costs a little).
+	if sim < 0.7 {
+		t.Fatalf("translated similarity = %g", sim)
+	}
+}
+
+func TestShapeDiscrimination(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	o := mustOracle(t)
+	round := blob(rng, 400, 0, 0, 1, 1)
+	roundTwin := blob(rng, 400, 50, 50, 1, 1)
+	elongatedC := blob(rng, 400, -50, -50, 4, 0.3)
+	o.AddCluster(1, roundTwin)
+	o.AddCluster(2, elongatedC)
+	simTwin, _ := o.Similarity(round, 1)
+	simElong, _ := o.Similarity(round, 2)
+	if simTwin <= simElong {
+		t.Fatalf("twin %g should beat elongated %g", simTwin, simElong)
+	}
+	if o.Rate(simTwin) == NotSimilar {
+		t.Fatalf("statistical twin rated not-similar (%g)", simTwin)
+	}
+	if o.Rate(simElong) != NotSimilar {
+		t.Fatalf("different shape rated similar (%g)", simElong)
+	}
+}
+
+func TestDensityDistributionMatters(t *testing.T) {
+	// Same footprint, different mass distribution → lower similarity than
+	// identical mass distribution.
+	rng := rand.New(rand.NewSource(4))
+	o := mustOracle(t)
+	uniform := make([]geom.Point, 0, 400)
+	for i := 0; i < 400; i++ {
+		uniform = append(uniform, geom.Point{rng.Float64() * 4, rng.Float64() * 4})
+	}
+	skewed := make([]geom.Point, 0, 400)
+	for i := 0; i < 400; i++ {
+		// Concentrated in one corner, thin elsewhere.
+		if i%4 == 0 {
+			skewed = append(skewed, geom.Point{rng.Float64() * 4, rng.Float64() * 4})
+		} else {
+			skewed = append(skewed, geom.Point{rng.Float64(), rng.Float64()})
+		}
+	}
+	uniform2 := make([]geom.Point, 0, 400)
+	for i := 0; i < 400; i++ {
+		uniform2 = append(uniform2, geom.Point{rng.Float64() * 4, rng.Float64() * 4})
+	}
+	o.AddCluster(1, skewed)
+	o.AddCluster(2, uniform2)
+	simSkewed, _ := o.Similarity(uniform, 1)
+	simUniform, _ := o.Similarity(uniform, 2)
+	if simUniform <= simSkewed {
+		t.Fatalf("uniform twin %g should beat skewed %g", simUniform, simSkewed)
+	}
+}
+
+func TestUnknownCluster(t *testing.T) {
+	o := mustOracle(t)
+	if _, err := o.Similarity([]geom.Point{{0, 0}}, 99); err == nil {
+		t.Fatal("unknown id accepted")
+	}
+	if _, err := o.RateMatch([]geom.Point{{0, 0}}, 99); err == nil {
+		t.Fatal("unknown id accepted by RateMatch")
+	}
+}
+
+func TestCoverageSimilarityEdgeCases(t *testing.T) {
+	geo, err := grid.NewGeometryWithSide(2, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := CoverageSimilarity(geo, nil, nil); got != 1 {
+		t.Errorf("empty-empty = %g", got)
+	}
+	if got := CoverageSimilarity(geo, []geom.Point{{0, 0}}, nil); got != 0 {
+		t.Errorf("empty-nonempty = %g", got)
+	}
+	// Identical singletons.
+	if got := CoverageSimilarity(geo, []geom.Point{{0.5, 0.5}}, []geom.Point{{7.5, 3.5}}); got != 1 {
+		t.Errorf("aligned singletons = %g", got)
+	}
+}
+
+func TestTally(t *testing.T) {
+	var tl Tally
+	tl.Add(VerySimilar)
+	tl.Add(Similar)
+	tl.Add(Similar)
+	tl.Add(NotSimilar)
+	if tl.Total() != 4 {
+		t.Fatalf("total = %d", tl.Total())
+	}
+	v, s, n := tl.Rates()
+	if v != 0.25 || s != 0.5 || n != 0.25 {
+		t.Fatalf("rates = %g %g %g", v, s, n)
+	}
+	if tl.SimilarRate() != 0.75 {
+		t.Fatalf("similar rate = %g", tl.SimilarRate())
+	}
+	var empty Tally
+	if empty.SimilarRate() != 0 {
+		t.Fatal("empty tally similar rate")
+	}
+	ev, es, en := empty.Rates()
+	if ev != 0 || es != 0 || en != 0 {
+		t.Fatal("empty tally rates")
+	}
+}
+
+func TestVerdictString(t *testing.T) {
+	if VerySimilar.String() != "very similar" || Similar.String() != "similar" || NotSimilar.String() != "not similar" {
+		t.Fatal("verdict strings wrong")
+	}
+}

@@ -1,0 +1,430 @@
+// Package query parses the two analytical query templates of §3.2:
+//
+// Continuous clustering queries (Figure 2):
+//
+//	DETECT DensityBasedClusters FROM stream
+//	USING theta_range = 0.1 AND theta_cnt = 8
+//	IN WINDOWS WITH win = 10000 AND slide = 1000
+//
+// An optional representation marker after DensityBasedClusters selects the
+// output format: FULL (full representation only, Extra-N style) or F+S
+// (full + summarized, the default, C-SGS). Window sizes take an optional
+// unit: TUPLES (count-based, default) or TICKS (time-based).
+//
+// Cluster matching queries (Figure 3):
+//
+//	GIVEN DensityBasedCluster input
+//	SELECT DensityBasedClusters FROM History
+//	WHERE Distance <= 0.2
+//	  [WITH WEIGHTS volume = 0.25, status = 0.25, density = 0.25, connectivity = 0.25]
+//	  [POSITION SENSITIVE]
+//	  [LIMIT 3]
+//
+// Keywords are case-insensitive; identifiers and numbers follow Go lexical
+// rules for the relevant literals.
+package query
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// ClusterQuery is a parsed continuous clustering query.
+type ClusterQuery struct {
+	Stream     string  // source name after FROM
+	ThetaR     float64 // θ_range
+	ThetaC     int     // θ_cnt
+	Win, Slide int64
+	TimeBased  bool
+	// Summarized selects full+summarized output (true, default) or
+	// full-only (false).
+	Summarized bool
+}
+
+// MatchQuery is a parsed cluster matching query.
+type MatchQuery struct {
+	// Target names the to-be-matched cluster (an identifier the caller
+	// resolves, e.g. "input" or a cluster id).
+	Target            string
+	Threshold         float64
+	Weights           [4]float64 // volume, status, density, connectivity
+	HasWeights        bool
+	PositionSensitive bool
+	Limit             int
+}
+
+// Parse parses either query form, returning *ClusterQuery or *MatchQuery.
+func Parse(s string) (interface{}, error) {
+	p := &parser{toks: lex(s)}
+	switch {
+	case p.peekKeyword("DETECT"):
+		return p.parseCluster()
+	case p.peekKeyword("GIVEN"):
+		return p.parseMatch()
+	default:
+		return nil, fmt.Errorf("query: expected DETECT or GIVEN, got %q", p.peekText())
+	}
+}
+
+// ParseCluster parses a continuous clustering query.
+func ParseCluster(s string) (*ClusterQuery, error) {
+	v, err := Parse(s)
+	if err != nil {
+		return nil, err
+	}
+	q, ok := v.(*ClusterQuery)
+	if !ok {
+		return nil, fmt.Errorf("query: not a DETECT query")
+	}
+	return q, nil
+}
+
+// ParseMatch parses a cluster matching query.
+func ParseMatch(s string) (*MatchQuery, error) {
+	v, err := Parse(s)
+	if err != nil {
+		return nil, err
+	}
+	q, ok := v.(*MatchQuery)
+	if !ok {
+		return nil, fmt.Errorf("query: not a GIVEN query")
+	}
+	return q, nil
+}
+
+// --- lexer -------------------------------------------------------------------
+
+type tokKind int
+
+const (
+	tokIdent tokKind = iota
+	tokNumber
+	tokSymbol // = , <= +
+	tokEOF
+)
+
+type token struct {
+	kind tokKind
+	text string
+}
+
+func lex(s string) []token {
+	var toks []token
+	i := 0
+	for i < len(s) {
+		c := rune(s[i])
+		switch {
+		case unicode.IsSpace(c):
+			i++
+		case c == '=' || c == ',' || c == '+':
+			toks = append(toks, token{tokSymbol, string(c)})
+			i++
+		case c == '<':
+			if i+1 < len(s) && s[i+1] == '=' {
+				toks = append(toks, token{tokSymbol, "<="})
+				i += 2
+			} else {
+				toks = append(toks, token{tokSymbol, "<"})
+				i++
+			}
+		case unicode.IsDigit(c) || c == '.' || c == '-':
+			j := i + 1
+			for j < len(s) && (unicode.IsDigit(rune(s[j])) || s[j] == '.' || s[j] == 'e' || s[j] == 'E' || s[j] == '-' || s[j] == '+') {
+				// Stop '+'/'-' unless part of an exponent.
+				if (s[j] == '-' || s[j] == '+') && !(s[j-1] == 'e' || s[j-1] == 'E') {
+					break
+				}
+				j++
+			}
+			toks = append(toks, token{tokNumber, s[i:j]})
+			i = j
+		case unicode.IsLetter(c) || c == '_':
+			j := i + 1
+			for j < len(s) && (unicode.IsLetter(rune(s[j])) || unicode.IsDigit(rune(s[j])) || s[j] == '_') {
+				j++
+			}
+			toks = append(toks, token{tokIdent, s[i:j]})
+			i = j
+		default:
+			toks = append(toks, token{tokSymbol, string(c)})
+			i++
+		}
+	}
+	toks = append(toks, token{tokEOF, ""})
+	return toks
+}
+
+// --- parser ------------------------------------------------------------------
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) peek() token      { return p.toks[p.pos] }
+func (p *parser) peekText() string { return p.toks[p.pos].text }
+func (p *parser) next() token {
+	t := p.toks[p.pos]
+	if t.kind != tokEOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) peekKeyword(kw string) bool {
+	t := p.peek()
+	return t.kind == tokIdent && strings.EqualFold(t.text, kw)
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	if !p.peekKeyword(kw) {
+		return fmt.Errorf("query: expected %s, got %q", kw, p.peekText())
+	}
+	p.next()
+	return nil
+}
+
+func (p *parser) acceptKeyword(kw string) bool {
+	if p.peekKeyword(kw) {
+		p.next()
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectSymbol(sym string) error {
+	t := p.peek()
+	if t.kind != tokSymbol || t.text != sym {
+		return fmt.Errorf("query: expected %q, got %q", sym, t.text)
+	}
+	p.next()
+	return nil
+}
+
+func (p *parser) expectIdent() (string, error) {
+	t := p.peek()
+	if t.kind != tokIdent {
+		return "", fmt.Errorf("query: expected identifier, got %q", t.text)
+	}
+	p.next()
+	return t.text, nil
+}
+
+func (p *parser) expectNumber() (float64, error) {
+	t := p.peek()
+	if t.kind != tokNumber {
+		return 0, fmt.Errorf("query: expected number, got %q", t.text)
+	}
+	v, err := strconv.ParseFloat(t.text, 64)
+	if err != nil {
+		return 0, fmt.Errorf("query: bad number %q: %v", t.text, err)
+	}
+	p.next()
+	return v, nil
+}
+
+func (p *parser) expectInt() (int64, error) {
+	v, err := p.expectNumber()
+	if err != nil {
+		return 0, err
+	}
+	if v != float64(int64(v)) {
+		return 0, fmt.Errorf("query: expected integer, got %g", v)
+	}
+	return int64(v), nil
+}
+
+// expectAssign parses `name = value`.
+func (p *parser) expectAssign(name string) (float64, error) {
+	if err := p.expectKeyword(name); err != nil {
+		return 0, err
+	}
+	if err := p.expectSymbol("="); err != nil {
+		return 0, err
+	}
+	return p.expectNumber()
+}
+
+func (p *parser) expectEOF() error {
+	if p.peek().kind != tokEOF {
+		return fmt.Errorf("query: unexpected trailing input %q", p.peekText())
+	}
+	return nil
+}
+
+func (p *parser) parseCluster() (*ClusterQuery, error) {
+	q := &ClusterQuery{Summarized: true}
+	if err := p.expectKeyword("DETECT"); err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("DensityBasedClusters"); err != nil {
+		return nil, err
+	}
+	// Optional representation marker: FULL | F + S | FS.
+	switch {
+	case p.acceptKeyword("FULL"):
+		q.Summarized = false
+	case p.acceptKeyword("F"):
+		if err := p.expectSymbol("+"); err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("S"); err != nil {
+			return nil, err
+		}
+	case p.acceptKeyword("FS"):
+	}
+	if err := p.expectKeyword("FROM"); err != nil {
+		return nil, err
+	}
+	var err error
+	if q.Stream, err = p.expectIdent(); err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("USING"); err != nil {
+		return nil, err
+	}
+	if q.ThetaR, err = p.expectAssign("theta_range"); err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("AND"); err != nil {
+		return nil, err
+	}
+	tc, err := p.expectAssign("theta_cnt")
+	if err != nil {
+		return nil, err
+	}
+	if tc != float64(int(tc)) {
+		return nil, fmt.Errorf("query: theta_cnt must be an integer, got %g", tc)
+	}
+	q.ThetaC = int(tc)
+	if err := p.expectKeyword("IN"); err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("WINDOWS"); err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("WITH"); err != nil {
+		return nil, err
+	}
+	if q.Win, err = p.windowExtent("win", q); err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("AND"); err != nil {
+		return nil, err
+	}
+	if q.Slide, err = p.windowExtent("slide", q); err != nil {
+		return nil, err
+	}
+	if err := p.expectEOF(); err != nil {
+		return nil, err
+	}
+	if q.ThetaR <= 0 || q.ThetaC < 1 || q.Win <= 0 || q.Slide <= 0 || q.Slide > q.Win {
+		return nil, fmt.Errorf("query: invalid parameters (θr=%g θc=%d win=%d slide=%d)", q.ThetaR, q.ThetaC, q.Win, q.Slide)
+	}
+	return q, nil
+}
+
+// windowExtent parses `name = N [TUPLES|TICKS]`.
+func (p *parser) windowExtent(name string, q *ClusterQuery) (int64, error) {
+	if err := p.expectKeyword(name); err != nil {
+		return 0, err
+	}
+	if err := p.expectSymbol("="); err != nil {
+		return 0, err
+	}
+	v, err := p.expectInt()
+	if err != nil {
+		return 0, err
+	}
+	switch {
+	case p.acceptKeyword("TUPLES"):
+	case p.acceptKeyword("TICKS"), p.acceptKeyword("SECONDS"):
+		q.TimeBased = true
+	}
+	return v, nil
+}
+
+func (p *parser) parseMatch() (*MatchQuery, error) {
+	q := &MatchQuery{}
+	if err := p.expectKeyword("GIVEN"); err != nil {
+		return nil, err
+	}
+	// Accept both singular and plural noun.
+	if !p.acceptKeyword("DensityBasedCluster") {
+		if err := p.expectKeyword("DensityBasedClusters"); err != nil {
+			return nil, err
+		}
+	}
+	var err error
+	if q.Target, err = p.expectIdent(); err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("SELECT"); err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("DensityBasedClusters"); err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("FROM"); err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("History"); err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("WHERE"); err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("Distance"); err != nil {
+		return nil, err
+	}
+	if err := p.expectSymbol("<="); err != nil {
+		return nil, err
+	}
+	if q.Threshold, err = p.expectNumber(); err != nil {
+		return nil, err
+	}
+	for {
+		switch {
+		case p.acceptKeyword("WITH"):
+			if err := p.expectKeyword("WEIGHTS"); err != nil {
+				return nil, err
+			}
+			names := []string{"volume", "status", "density", "connectivity"}
+			for i, n := range names {
+				if q.Weights[i], err = p.expectAssign(n); err != nil {
+					return nil, err
+				}
+				if i < len(names)-1 {
+					if err := p.expectSymbol(","); err != nil {
+						return nil, err
+					}
+				}
+			}
+			q.HasWeights = true
+		case p.acceptKeyword("POSITION"):
+			if err := p.expectKeyword("SENSITIVE"); err != nil {
+				return nil, err
+			}
+			q.PositionSensitive = true
+		case p.acceptKeyword("LIMIT"):
+			n, err := p.expectInt()
+			if err != nil {
+				return nil, err
+			}
+			if n < 1 {
+				return nil, fmt.Errorf("query: LIMIT must be positive")
+			}
+			q.Limit = int(n)
+		default:
+			if err := p.expectEOF(); err != nil {
+				return nil, err
+			}
+			if q.Threshold < 0 || q.Threshold > 1 {
+				return nil, fmt.Errorf("query: threshold %g out of [0,1]", q.Threshold)
+			}
+			return q, nil
+		}
+	}
+}

@@ -1,0 +1,143 @@
+package query
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseClusterFigure2(t *testing.T) {
+	q, err := ParseCluster(`
+		DETECT DensityBasedClusters f+s FROM stock_trades
+		USING theta_range = 0.1 AND theta_cnt = 8
+		IN WINDOWS WITH win = 10000 AND slide = 1000`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Stream != "stock_trades" || q.ThetaR != 0.1 || q.ThetaC != 8 ||
+		q.Win != 10000 || q.Slide != 1000 || !q.Summarized || q.TimeBased {
+		t.Fatalf("parsed %+v", q)
+	}
+}
+
+func TestParseClusterVariants(t *testing.T) {
+	// FULL representation, time-based windows, case-insensitive keywords.
+	q, err := ParseCluster(`detect densitybasedclusters FULL from gmti
+		using THETA_RANGE = 0.5 and THETA_CNT = 5
+		in windows with WIN = 600 ticks and SLIDE = 60 ticks`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Summarized || !q.TimeBased || q.Win != 600 || q.Slide != 60 {
+		t.Fatalf("parsed %+v", q)
+	}
+	// Explicit TUPLES unit stays count-based.
+	q2, err := ParseCluster(`DETECT DensityBasedClusters FROM s
+		USING theta_range = 1 AND theta_cnt = 2
+		IN WINDOWS WITH win = 10 TUPLES AND slide = 5 TUPLES`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q2.TimeBased {
+		t.Fatal("TUPLES should be count-based")
+	}
+}
+
+func TestParseClusterErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"SELECT foo",
+		"DETECT DensityBasedClusters FROM s USING theta_range = 0.1 AND theta_cnt = 8",
+		"DETECT DensityBasedClusters FROM s USING theta_range = 0.1 AND theta_cnt = 8 IN WINDOWS WITH win = 10 AND slide = 20", // slide > win
+		"DETECT DensityBasedClusters FROM s USING theta_range = -1 AND theta_cnt = 8 IN WINDOWS WITH win = 10 AND slide = 5",
+		"DETECT DensityBasedClusters FROM s USING theta_range = 0.1 AND theta_cnt = 8 IN WINDOWS WITH win = 10 AND slide = 5 EXTRA",
+		"DETECT DensityBasedClusters FROM s USING theta_range = 0.1 AND theta_cnt = 2.5 IN WINDOWS WITH win = 10 AND slide = 5",
+	}
+	for _, s := range bad {
+		if _, err := ParseCluster(s); err == nil {
+			t.Errorf("accepted bad query: %s", s)
+		}
+	}
+}
+
+func TestParseMatchFigure3(t *testing.T) {
+	q, err := ParseMatch(`
+		GIVEN DensityBasedCluster input
+		SELECT DensityBasedClusters FROM History
+		WHERE Distance <= 0.2`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Target != "input" || q.Threshold != 0.2 || q.HasWeights || q.PositionSensitive || q.Limit != 0 {
+		t.Fatalf("parsed %+v", q)
+	}
+}
+
+func TestParseMatchFull(t *testing.T) {
+	q, err := ParseMatch(`GIVEN DensityBasedClusters c42
+		SELECT DensityBasedClusters FROM History
+		WHERE Distance <= 0.3
+		WITH WEIGHTS volume = 0.4, status = 0.2, density = 0.2, connectivity = 0.2
+		POSITION SENSITIVE
+		LIMIT 3`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Target != "c42" || !q.HasWeights || !q.PositionSensitive || q.Limit != 3 {
+		t.Fatalf("parsed %+v", q)
+	}
+	if q.Weights != [4]float64{0.4, 0.2, 0.2, 0.2} {
+		t.Fatalf("weights %v", q.Weights)
+	}
+}
+
+func TestParseMatchErrors(t *testing.T) {
+	bad := []string{
+		"GIVEN DensityBasedCluster input SELECT DensityBasedClusters FROM History WHERE Distance <= 2",
+		"GIVEN DensityBasedCluster input SELECT DensityBasedClusters FROM History WHERE Distance = 0.2",
+		"GIVEN DensityBasedCluster input SELECT DensityBasedClusters FROM History",
+		"GIVEN DensityBasedCluster input SELECT DensityBasedClusters FROM History WHERE Distance <= 0.2 LIMIT 0",
+		"GIVEN DensityBasedCluster input SELECT DensityBasedClusters FROM History WHERE Distance <= 0.2 WITH WEIGHTS volume = 1",
+	}
+	for _, s := range bad {
+		if _, err := ParseMatch(s); err == nil {
+			t.Errorf("accepted bad query: %s", s)
+		}
+	}
+}
+
+func TestParseDispatch(t *testing.T) {
+	v, err := Parse("GIVEN DensityBasedCluster x SELECT DensityBasedClusters FROM History WHERE Distance <= 0.1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := v.(*MatchQuery); !ok {
+		t.Fatalf("dispatch returned %T", v)
+	}
+	if _, err := ParseMatch("DETECT DensityBasedClusters FROM s USING theta_range = 1 AND theta_cnt = 1 IN WINDOWS WITH win = 2 AND slide = 1"); err == nil {
+		t.Error("ParseMatch accepted DETECT")
+	}
+	if _, err := ParseCluster("GIVEN DensityBasedCluster x SELECT DensityBasedClusters FROM History WHERE Distance <= 0.1"); err == nil {
+		t.Error("ParseCluster accepted GIVEN")
+	}
+}
+
+func TestLexerOddities(t *testing.T) {
+	// Scientific notation and negative numbers.
+	q, err := ParseCluster(`DETECT DensityBasedClusters FROM s
+		USING theta_range = 1e-1 AND theta_cnt = 8
+		IN WINDOWS WITH win = 10000 AND slide = 1000`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.ThetaR != 0.1 {
+		t.Fatalf("theta_range = %g", q.ThetaR)
+	}
+	// Unknown symbol produces an error, not a hang.
+	if _, err := Parse("DETECT ; nonsense"); err == nil {
+		t.Error("garbage accepted")
+	}
+	// Keywords are not valid as numbers.
+	if _, err := Parse(strings.Repeat("DETECT ", 3)); err == nil {
+		t.Error("repeated keywords accepted")
+	}
+}

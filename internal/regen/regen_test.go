@@ -1,0 +1,159 @@
+package regen
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"streamsum/internal/dbscan"
+	"streamsum/internal/geom"
+	"streamsum/internal/grid"
+	"streamsum/internal/quality"
+	"streamsum/internal/sgs"
+)
+
+const thetaR = 0.6
+
+func fixture(t *testing.T, seed int64) (*sgs.Summary, []geom.Point, *grid.Geometry) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	var pts []geom.Point
+	for i := 0; i < 400; i++ {
+		pts = append(pts, geom.Point{rng.NormFloat64() * 1.2, rng.NormFloat64() * 1.2})
+	}
+	ids := make([]int64, len(pts))
+	for i := range ids {
+		ids[i] = int64(i)
+	}
+	res, err := dbscan.Run(pts, ids, dbscan.Params{ThetaR: thetaR, ThetaC: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Clusters) == 0 {
+		t.Skip("no cluster")
+	}
+	best := 0
+	for i, c := range res.Clusters {
+		if len(c.Members) > len(res.Clusters[best].Members) {
+			best = i
+		}
+	}
+	var member []geom.Point
+	var isCore []bool
+	for _, id := range res.Clusters[best].Members {
+		member = append(member, pts[id])
+		isCore = append(isCore, res.IsCore[id])
+	}
+	geo, err := grid.NewGeometry(2, thetaR)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := sgs.FromCluster(geo, member, isCore, 7, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, member, geo
+}
+
+func TestRoundTripPreservesCellsAndPopulations(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		s, _, geo := fixture(t, seed)
+		pts := Points(s, Options{})
+		if len(pts) != s.TotalPopulation() {
+			t.Fatalf("population not conserved: %d vs %d", len(pts), s.TotalPopulation())
+		}
+		// Re-rasterize: every generated point must fall in its source cell,
+		// reproducing the exact cell set and populations.
+		counts := make(map[grid.Coord]uint32)
+		for _, p := range pts {
+			counts[geo.CoordOf(p)]++
+		}
+		if len(counts) != s.NumCells() {
+			t.Fatalf("cell set changed: %d vs %d", len(counts), s.NumCells())
+		}
+		for i := range s.Cells {
+			c := &s.Cells[i]
+			if counts[c.Coord] != c.Population {
+				t.Fatalf("cell %v population %d != %d", c.Coord, counts[c.Coord], c.Population)
+			}
+		}
+	}
+}
+
+func TestRegeneratedResemblesOriginal(t *testing.T) {
+	s, member, geo := fixture(t, 9)
+	pts := Points(s, Options{})
+	sim := quality.CoverageSimilarity(geo, member, pts)
+	// The regenerated cloud occupies the same cells with the same masses;
+	// the only loss is sub-cell placement, so the coverage oracle must rate
+	// it very similar.
+	if sim < 0.8 {
+		t.Fatalf("regenerated similarity %g", sim)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	s, _, _ := fixture(t, 11)
+	a := Points(s, Options{})
+	b := Points(s, Options{})
+	for i := range a {
+		if !a[i].Equal(b[i]) {
+			t.Fatal("default-seed regeneration not deterministic")
+		}
+	}
+	c := Points(s, Options{Seed: 42})
+	diff := false
+	for i := range a {
+		if !a[i].Equal(c[i]) {
+			diff = true
+			break
+		}
+	}
+	if !diff {
+		t.Fatal("explicit seed had no effect")
+	}
+}
+
+func TestMaxPerCell(t *testing.T) {
+	s, _, geo := fixture(t, 13)
+	pts := Points(s, Options{MaxPerCell: 2})
+	counts := make(map[grid.Coord]int)
+	for _, p := range pts {
+		counts[geo.CoordOf(p)]++
+	}
+	for coord, n := range counts {
+		if n > 2 {
+			t.Fatalf("cell %v has %d points, cap 2", coord, n)
+		}
+	}
+	if len(counts) != s.NumCells() {
+		t.Fatal("capping dropped cells entirely")
+	}
+}
+
+func TestCenters(t *testing.T) {
+	s, _, geo := fixture(t, 15)
+	cs := Centers(s)
+	if len(cs) != s.NumCells() {
+		t.Fatalf("%d centers for %d cells", len(cs), s.NumCells())
+	}
+	for _, c := range cs {
+		cell := s.Find(geo.CoordOf(c))
+		if cell == nil {
+			t.Fatalf("center %v outside any summary cell", c)
+		}
+	}
+}
+
+func TestEmptyAndNil(t *testing.T) {
+	if Points(nil, Options{}) != nil {
+		t.Fatal("nil summary should regenerate nothing")
+	}
+	var empty sgs.Summary
+	if Points(&empty, Options{}) != nil {
+		t.Fatal("empty summary should regenerate nothing")
+	}
+	if got := math.Inf(1); got < 0 {
+		t.Fatal("unreachable")
+	}
+}

@@ -1,0 +1,101 @@
+package rsp
+
+import (
+	"math/rand"
+	"testing"
+
+	"streamsum/internal/geom"
+)
+
+func cloud(rng *rand.Rand, n int, cx, cy float64) []geom.Point {
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		pts[i] = geom.Point{cx + rng.NormFloat64(), cy + rng.NormFloat64()}
+	}
+	return pts
+}
+
+func TestFromPointsBudget(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	pts := cloud(rng, 500, 0, 0)
+	budget := 1600 // bytes → 100 points at 2 dims
+	s, err := FromPoints(pts, 1, 0, budget, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Sample) != 100 {
+		t.Fatalf("sample size = %d, want 100", len(s.Sample))
+	}
+	if s.Size() != budget {
+		t.Fatalf("Size = %d, want %d", s.Size(), budget)
+	}
+	if s.Count != 500 {
+		t.Fatalf("Count = %d", s.Count)
+	}
+	// Budget below one point still yields one point.
+	s2, _ := FromPoints(pts, 1, 0, 3, rng)
+	if len(s2.Sample) != 1 {
+		t.Fatalf("minimum sample size violated: %d", len(s2.Sample))
+	}
+	// Budget above cluster size caps at the cluster.
+	s3, _ := FromPoints(pts[:5], 1, 0, 1<<20, rng)
+	if len(s3.Sample) != 5 {
+		t.Fatalf("oversized budget should keep all points: %d", len(s3.Sample))
+	}
+	if _, err := FromPoints(nil, 0, 0, 100, rng); err == nil {
+		t.Error("empty cluster accepted")
+	}
+}
+
+func TestDeterministicWithoutRng(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	pts := cloud(rng, 200, 0, 0)
+	a, _ := FromPoints(pts, 7, 3, 800, nil)
+	b, _ := FromPoints(pts, 7, 3, 800, nil)
+	if len(a.Sample) != len(b.Sample) {
+		t.Fatal("sample sizes differ")
+	}
+	for i := range a.Sample {
+		if !a.Sample[i].Equal(b.Sample[i]) {
+			t.Fatal("nil-rng sampling not deterministic")
+		}
+	}
+}
+
+func TestDistanceProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	a, _ := FromPoints(cloud(rng, 300, 0, 0), 0, 0, 800, rng)
+	if d := Distance(a, a); d != 0 {
+		t.Errorf("self distance = %v", d)
+	}
+	// Matching is position-insensitive: a same-shape cloud far away must be
+	// closer than a differently shaped (elongated) cluster.
+	b, _ := FromPoints(cloud(rng, 300, 40, 40), 1, 0, 800, rng)
+	var stretched []geom.Point
+	for i := 0; i < 300; i++ {
+		stretched = append(stretched, geom.Point{rng.NormFloat64() * 12, rng.NormFloat64() * 0.2})
+	}
+	c, _ := FromPoints(stretched, 2, 0, 800, rng)
+	dab, dac := Distance(a, b), Distance(a, c)
+	if dab < 0 || dab > 1 || dac < 0 || dac > 1 {
+		t.Errorf("distances out of range: %v %v", dab, dac)
+	}
+	if dab >= dac {
+		t.Errorf("same-shape twin (%v) should be closer than stretched cluster (%v)", dab, dac)
+	}
+	if Distance(a, b) != Distance(b, a) {
+		t.Error("distance not symmetric")
+	}
+}
+
+func TestDistanceDegenerate(t *testing.T) {
+	one := &Summary{Sample: []geom.Point{{1, 1}}}
+	same := &Summary{Sample: []geom.Point{{1, 1}}}
+	if d := Distance(one, same); d != 0 {
+		t.Errorf("coincident singleton distance = %v", d)
+	}
+	empty := &Summary{}
+	if d := Distance(one, empty); d != 1 {
+		t.Errorf("empty summary distance = %v", d)
+	}
+}

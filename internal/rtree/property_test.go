@@ -1,0 +1,88 @@
+package rtree
+
+import (
+	"math/rand"
+	"testing"
+
+	"streamsum/internal/geom"
+)
+
+// TestRandomizedOperations interleaves inserts, deletes and searches,
+// cross-checking the tree against a naive shadow map after every batch —
+// the archive's index must stay consistent through any mutation sequence.
+func TestRandomizedOperations(t *testing.T) {
+	rng := rand.New(rand.NewSource(2024))
+	tr := New(2)
+	shadow := map[int64]geom.MBR{}
+	nextID := int64(0)
+
+	randBox := func() geom.MBR {
+		lo := geom.Point{rng.Float64() * 100, rng.Float64() * 100}
+		return geom.MBR{Min: lo, Max: geom.Point{lo[0] + rng.Float64()*10, lo[1] + rng.Float64()*10}}
+	}
+
+	check := func() {
+		t.Helper()
+		if tr.Len() != len(shadow) {
+			t.Fatalf("Len %d != shadow %d", tr.Len(), len(shadow))
+		}
+		// Three random region queries against the shadow.
+		for q := 0; q < 3; q++ {
+			box := randBox()
+			got := map[int64]bool{}
+			tr.SearchIntersect(box, func(it Item) bool {
+				got[it.ID] = true
+				return true
+			})
+			want := 0
+			for id, b := range shadow {
+				if b.Intersects(box) {
+					want++
+					if !got[id] {
+						t.Fatalf("item %d missing from search", id)
+					}
+				}
+			}
+			if len(got) != want {
+				t.Fatalf("search returned %d, want %d", len(got), want)
+			}
+		}
+	}
+
+	for round := 0; round < 60; round++ {
+		// Insert a batch.
+		for i := 0; i < 20; i++ {
+			b := randBox()
+			if err := tr.Insert(nextID, b); err != nil {
+				t.Fatal(err)
+			}
+			shadow[nextID] = b
+			nextID++
+		}
+		// Delete a random subset.
+		for id, b := range shadow {
+			if rng.Float64() < 0.25 {
+				if !tr.Delete(id, b) {
+					t.Fatalf("delete %d failed", id)
+				}
+				delete(shadow, id)
+			}
+		}
+		check()
+	}
+	// Drain completely.
+	for id, b := range shadow {
+		if !tr.Delete(id, b) {
+			t.Fatalf("final delete %d failed", id)
+		}
+	}
+	if tr.Len() != 0 {
+		t.Fatalf("Len = %d after drain", tr.Len())
+	}
+	hits := 0
+	tr.SearchIntersect(geom.MBR{Min: geom.Point{-1e9, -1e9}, Max: geom.Point{1e9, 1e9}},
+		func(Item) bool { hits++; return true })
+	if hits != 0 {
+		t.Fatalf("drained tree still returns %d items", hits)
+	}
+}

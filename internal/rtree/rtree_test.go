@@ -1,0 +1,181 @@
+package rtree
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"streamsum/internal/geom"
+)
+
+func box(x1, y1, x2, y2 float64) geom.MBR {
+	return geom.MBR{Min: geom.Point{x1, y1}, Max: geom.Point{x2, y2}}
+}
+
+func TestInsertErrors(t *testing.T) {
+	tr := New(2)
+	if err := tr.Insert(1, geom.MBR{}); err == nil {
+		t.Error("empty MBR accepted")
+	}
+	if err := tr.Insert(1, geom.MBR{Min: geom.Point{0}, Max: geom.Point{1}}); err == nil {
+		t.Error("wrong dimension accepted")
+	}
+}
+
+func TestSearchSmall(t *testing.T) {
+	tr := New(2)
+	for i := 0; i < 5; i++ {
+		f := float64(i) * 10
+		if err := tr.Insert(int64(i), box(f, f, f+5, f+5)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if tr.Len() != 5 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	var got []int64
+	tr.SearchIntersect(box(3, 3, 12, 12), func(it Item) bool {
+		got = append(got, it.ID)
+		return true
+	})
+	sort.Slice(got, func(i, j int) bool { return got[i] < got[j] })
+	if len(got) != 2 || got[0] != 0 || got[1] != 1 {
+		t.Fatalf("search = %v, want [0 1]", got)
+	}
+	// Empty query region.
+	hits := 0
+	tr.SearchIntersect(box(100, 100, 101, 101), func(Item) bool { hits++; return true })
+	if hits != 0 {
+		t.Fatalf("hits = %d", hits)
+	}
+}
+
+func TestSearchEarlyStop(t *testing.T) {
+	tr := New(2)
+	for i := 0; i < 50; i++ {
+		_ = tr.Insert(int64(i), box(0, 0, 1, 1))
+	}
+	visits := 0
+	tr.SearchIntersect(box(0, 0, 1, 1), func(Item) bool {
+		visits++
+		return visits < 7
+	})
+	if visits != 7 {
+		t.Fatalf("early stop visited %d", visits)
+	}
+}
+
+func TestRandomAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(123))
+	tr := New(3)
+	type rec struct {
+		id  int64
+		box geom.MBR
+	}
+	var all []rec
+	for i := 0; i < 1000; i++ {
+		lo := geom.Point{rng.Float64() * 100, rng.Float64() * 100, rng.Float64() * 100}
+		hi := lo.Clone()
+		for d := range hi {
+			hi[d] += rng.Float64() * 10
+		}
+		b := geom.MBR{Min: lo, Max: hi}
+		if err := tr.Insert(int64(i), b); err != nil {
+			t.Fatal(err)
+		}
+		all = append(all, rec{int64(i), b})
+	}
+	if tr.Len() != 1000 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	for trial := 0; trial < 50; trial++ {
+		lo := geom.Point{rng.Float64() * 100, rng.Float64() * 100, rng.Float64() * 100}
+		hi := lo.Clone()
+		for d := range hi {
+			hi[d] += rng.Float64() * 25
+		}
+		q := geom.MBR{Min: lo, Max: hi}
+		var got []int64
+		tr.SearchIntersect(q, func(it Item) bool {
+			got = append(got, it.ID)
+			return true
+		})
+		var want []int64
+		for _, r := range all {
+			if r.box.Intersects(q) {
+				want = append(want, r.id)
+			}
+		}
+		sort.Slice(got, func(i, j int) bool { return got[i] < got[j] })
+		sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: got %d hits, want %d", trial, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d: results differ", trial)
+			}
+		}
+	}
+}
+
+func TestDelete(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	tr := New(2)
+	var boxes []geom.MBR
+	for i := 0; i < 300; i++ {
+		lo := geom.Point{rng.Float64() * 50, rng.Float64() * 50}
+		hi := geom.Point{lo[0] + 1, lo[1] + 1}
+		b := geom.MBR{Min: lo, Max: hi}
+		boxes = append(boxes, b)
+		_ = tr.Insert(int64(i), b)
+	}
+	// Delete half.
+	for i := 0; i < 150; i++ {
+		if !tr.Delete(int64(i), boxes[i]) {
+			t.Fatalf("delete %d failed", i)
+		}
+	}
+	if tr.Delete(0, boxes[0]) {
+		t.Fatal("double delete succeeded")
+	}
+	if tr.Len() != 150 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	// Remaining items all still findable.
+	for i := 150; i < 300; i++ {
+		found := false
+		tr.SearchIntersect(boxes[i], func(it Item) bool {
+			if it.ID == int64(i) {
+				found = true
+				return false
+			}
+			return true
+		})
+		if !found {
+			t.Fatalf("item %d lost after deletions", i)
+		}
+	}
+	// Deleted items are gone.
+	for i := 0; i < 150; i++ {
+		tr.SearchIntersect(boxes[i], func(it Item) bool {
+			if it.ID == int64(i) {
+				t.Fatalf("item %d still present", i)
+			}
+			return true
+		})
+	}
+}
+
+func TestDuplicateBoxes(t *testing.T) {
+	tr := New(2)
+	b := box(0, 0, 1, 1)
+	for i := 0; i < 100; i++ {
+		_ = tr.Insert(int64(i), b)
+	}
+	hits := 0
+	tr.SearchIntersect(b, func(Item) bool { hits++; return true })
+	if hits != 100 {
+		t.Fatalf("hits = %d, want 100", hits)
+	}
+}

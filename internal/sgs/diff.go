@@ -1,0 +1,87 @@
+package sgs
+
+import (
+	"fmt"
+
+	"streamsum/internal/grid"
+)
+
+// Diff describes the structural change between two summaries of the same
+// data space (typically two windows' snapshots of one tracked cluster).
+// It powers evolution analysis: where a congestion grew, which sub-regions
+// dissolved, how the total mass moved.
+type Diff struct {
+	// Added lists cells occupied in the new summary only; Removed lists
+	// cells occupied in the old summary only (sorted by CoordLess).
+	Added, Removed []grid.Coord
+	// Promoted lists cells that turned from edge to core; Demoted the
+	// reverse.
+	Promoted, Demoted []grid.Coord
+	// PopulationDelta is new total population minus old.
+	PopulationDelta int
+	// MassShift is the sum of |Δpopulation| over shared cells — how much
+	// the internal density distribution rearranged even if totals held.
+	MassShift int
+	// CellJaccard is |shared| / |union| of the occupied cell sets.
+	CellJaccard float64
+}
+
+// Compare computes the diff from old to new. Both summaries must be at the
+// same resolution (equal Side); otherwise an error is returned.
+func Compare(old, new *Summary) (Diff, error) {
+	var d Diff
+	if old.Side != new.Side || old.Dim != new.Dim {
+		return d, fmt.Errorf("sgs: cannot diff summaries with different geometry (side %g/%g, dim %d/%d)",
+			old.Side, new.Side, old.Dim, new.Dim)
+	}
+	shared := 0
+	for i := range new.Cells {
+		nc := &new.Cells[i]
+		oc := old.Find(nc.Coord)
+		if oc == nil {
+			d.Added = append(d.Added, nc.Coord)
+			continue
+		}
+		shared++
+		if oc.Status == EdgeCell && nc.Status == CoreCell {
+			d.Promoted = append(d.Promoted, nc.Coord)
+		}
+		if oc.Status == CoreCell && nc.Status == EdgeCell {
+			d.Demoted = append(d.Demoted, nc.Coord)
+		}
+		delta := int(nc.Population) - int(oc.Population)
+		if delta < 0 {
+			d.MassShift -= delta
+		} else {
+			d.MassShift += delta
+		}
+	}
+	for i := range old.Cells {
+		if new.Find(old.Cells[i].Coord) == nil {
+			d.Removed = append(d.Removed, old.Cells[i].Coord)
+		}
+	}
+	d.PopulationDelta = new.TotalPopulation() - old.TotalPopulation()
+	union := old.NumCells() + new.NumCells() - shared
+	if union > 0 {
+		d.CellJaccard = float64(shared) / float64(union)
+	} else {
+		d.CellJaccard = 1
+	}
+	return d, nil
+}
+
+// Unchanged reports whether the diff describes two structurally identical
+// summaries (same cells, statuses and populations).
+func (d Diff) Unchanged() bool {
+	return len(d.Added) == 0 && len(d.Removed) == 0 &&
+		len(d.Promoted) == 0 && len(d.Demoted) == 0 &&
+		d.PopulationDelta == 0 && d.MassShift == 0
+}
+
+// String renders a one-line human description.
+func (d Diff) String() string {
+	return fmt.Sprintf("diff{+%d cells, -%d cells, %d promoted, %d demoted, Δpop %+d, shifted %d, jaccard %.2f}",
+		len(d.Added), len(d.Removed), len(d.Promoted), len(d.Demoted),
+		d.PopulationDelta, d.MassShift, d.CellJaccard)
+}

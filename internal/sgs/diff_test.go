@@ -1,0 +1,112 @@
+package sgs
+
+import (
+	"testing"
+
+	"streamsum/internal/grid"
+)
+
+func diffFixture(t *testing.T) (*Summary, *Summary) {
+	t.Helper()
+	b1 := NewBuilder(2, 1.0)
+	b1.AddCell(grid.CoordOf(0, 0), 5, CoreCell)
+	b1.AddCell(grid.CoordOf(1, 0), 4, CoreCell)
+	b1.AddCell(grid.CoordOf(2, 0), 2, EdgeCell)
+	if err := b1.Connect(grid.CoordOf(0, 0), grid.CoordOf(1, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := b1.Connect(grid.CoordOf(1, 0), grid.CoordOf(2, 0)); err != nil {
+		t.Fatal(err)
+	}
+	old := b1.Build(1, 10)
+
+	// New window: cell (2,0) promoted to core and grown, (0,0) gone, a new
+	// cell (3,0) appeared, (1,0) lost one object.
+	b2 := NewBuilder(2, 1.0)
+	b2.AddCell(grid.CoordOf(1, 0), 3, CoreCell)
+	b2.AddCell(grid.CoordOf(2, 0), 6, CoreCell)
+	b2.AddCell(grid.CoordOf(3, 0), 1, EdgeCell)
+	if err := b2.Connect(grid.CoordOf(1, 0), grid.CoordOf(2, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := b2.Connect(grid.CoordOf(2, 0), grid.CoordOf(3, 0)); err != nil {
+		t.Fatal(err)
+	}
+	new := b2.Build(1, 11)
+	return old, new
+}
+
+func TestCompare(t *testing.T) {
+	old, new := diffFixture(t)
+	d, err := Compare(old, new)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Added) != 1 || d.Added[0] != grid.CoordOf(3, 0) {
+		t.Fatalf("Added = %v", d.Added)
+	}
+	if len(d.Removed) != 1 || d.Removed[0] != grid.CoordOf(0, 0) {
+		t.Fatalf("Removed = %v", d.Removed)
+	}
+	if len(d.Promoted) != 1 || d.Promoted[0] != grid.CoordOf(2, 0) {
+		t.Fatalf("Promoted = %v", d.Promoted)
+	}
+	if len(d.Demoted) != 0 {
+		t.Fatalf("Demoted = %v", d.Demoted)
+	}
+	// Population: old 11, new 10.
+	if d.PopulationDelta != -1 {
+		t.Fatalf("PopulationDelta = %d", d.PopulationDelta)
+	}
+	// Shared cells (1,0): 4→3 (|Δ|=1), (2,0): 2→6 (|Δ|=4).
+	if d.MassShift != 5 {
+		t.Fatalf("MassShift = %d", d.MassShift)
+	}
+	// Shared 2, union 4.
+	if d.CellJaccard != 0.5 {
+		t.Fatalf("CellJaccard = %g", d.CellJaccard)
+	}
+	if d.Unchanged() {
+		t.Fatal("changed diff reported unchanged")
+	}
+	if d.String() == "" {
+		t.Fatal("empty String")
+	}
+}
+
+func TestCompareIdentical(t *testing.T) {
+	old, _ := diffFixture(t)
+	d, err := Compare(old, old)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Unchanged() {
+		t.Fatalf("self diff not unchanged: %v", d)
+	}
+	if d.CellJaccard != 1 {
+		t.Fatalf("self jaccard = %g", d.CellJaccard)
+	}
+}
+
+func TestCompareGeometryMismatch(t *testing.T) {
+	old, _ := diffFixture(t)
+	coarse, err := old.Compress(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Compare(old, coarse); err == nil {
+		t.Fatal("differing side accepted")
+	}
+}
+
+func TestCompareEmpty(t *testing.T) {
+	a := &Summary{Dim: 2, Side: 1}
+	b := &Summary{Dim: 2, Side: 1}
+	d, err := Compare(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Unchanged() || d.CellJaccard != 1 {
+		t.Fatalf("empty diff: %v", d)
+	}
+}

@@ -1,0 +1,67 @@
+package sgs
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestUnmarshalFuzz flips random bytes in valid encodings and feeds random
+// garbage: Unmarshal must never panic and must either return an error or a
+// summary that passes validation (failure injection for the archival
+// path — archives are long-lived files, bit rot happens).
+func TestUnmarshalFuzz(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	base := randomSummary(t, 99)
+	good := Marshal(base)
+
+	for trial := 0; trial < 2000; trial++ {
+		var blob []byte
+		if trial%4 == 0 {
+			// Pure garbage of random length.
+			blob = make([]byte, rng.Intn(200))
+			rng.Read(blob)
+		} else {
+			// Corrupted valid encoding: 1-4 random byte flips and/or a
+			// random truncation.
+			blob = append([]byte(nil), good...)
+			flips := 1 + rng.Intn(4)
+			for i := 0; i < flips; i++ {
+				blob[rng.Intn(len(blob))] ^= byte(1 << rng.Intn(8))
+			}
+			if rng.Intn(3) == 0 {
+				blob = blob[:rng.Intn(len(blob)+1)]
+			}
+		}
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("Unmarshal panicked on corrupted input: %v", r)
+				}
+			}()
+			s, err := Unmarshal(blob)
+			if err == nil {
+				if verr := s.Validate(); verr != nil {
+					t.Fatalf("Unmarshal accepted invalid summary: %v", verr)
+				}
+			}
+		}()
+	}
+}
+
+// TestMarshalDecodeStability re-encodes a decoded summary and requires a
+// byte-identical result (canonical encoding — needed so archives can be
+// deduplicated and diffed byte-wise).
+func TestMarshalDecodeStability(t *testing.T) {
+	for seed := int64(50); seed < 56; seed++ {
+		s := randomSummary(t, seed)
+		b1 := Marshal(s)
+		d, err := Unmarshal(b1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b2 := Marshal(d)
+		if string(b1) != string(b2) {
+			t.Fatalf("seed %d: re-encoding differs", seed)
+		}
+	}
+}

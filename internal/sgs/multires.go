@@ -1,0 +1,156 @@
+package sgs
+
+import (
+	"fmt"
+
+	"streamsum/internal/grid"
+)
+
+// This file implements the multi-resolution cluster summarization of §6.1.
+//
+// The SGS produced by the extractor is the "Basic SGS" at Level 0 (finest
+// cells, diagonal = θr). An SGS at level n is built by combining the cells
+// of the level n-1 SGS within θ-sized hypercubes: each level-n cell covers
+// θ^dim level-(n-1) cells. Per the paper:
+//
+//   - side length(n) = side length(n-1) × θ,
+//   - a level-n cell is core iff at least one covered cell is core,
+//   - population(n) = sum of covered populations,
+//   - connections(n) are induced by connections between "boundary" covered
+//     cells of neighboring level-n cells.
+//
+// Both the space consumption and the granularity of any level are exactly
+// computable in advance (the "budget- and accuracy-aware resolution
+// selection" of §6.1); see EstimateCells and the codec's EncodedSize.
+
+// Compress returns the summary at the next resolution level using
+// compression rate theta (θ >= 2). The receiver is unchanged.
+func (s *Summary) Compress(theta int) (*Summary, error) {
+	if theta < 2 {
+		return nil, fmt.Errorf("sgs: compression rate must be >= 2, got %d", theta)
+	}
+	parent := func(c grid.Coord) grid.Coord {
+		var p grid.Coord
+		p.D = c.D
+		for i := uint8(0); i < c.D; i++ {
+			p.C[i] = int32(floorDiv(int64(c.C[i]), int64(theta)))
+		}
+		return p
+	}
+
+	type agg struct {
+		pop  uint32
+		core bool
+	}
+	cells := make(map[grid.Coord]*agg)
+	for i := range s.Cells {
+		c := &s.Cells[i]
+		p := parent(c.Coord)
+		a := cells[p]
+		if a == nil {
+			a = &agg{}
+			cells[p] = a
+		}
+		a.pop += c.Population
+		if c.Status == CoreCell {
+			a.core = true
+		}
+	}
+
+	// Induced links between distinct parents.
+	type link struct{ a, b grid.Coord }
+	links := make(map[link]bool)
+	for i := range s.Cells {
+		c := &s.Cells[i]
+		pa := parent(c.Coord)
+		for _, t := range c.Conns {
+			pb := parent(t)
+			if pa != pb {
+				links[link{pa, pb}] = true
+			}
+		}
+	}
+
+	out := &Summary{
+		ID:     s.ID,
+		Window: s.Window,
+		Dim:    s.Dim,
+		Side:   s.Side * float64(theta),
+		Level:  s.Level + 1,
+	}
+	// The links set holds unique (a, b) pairs; Normalize deduplicates the
+	// symmetric double-insertions below.
+	conns := make(map[grid.Coord][]grid.Coord)
+	for l := range links {
+		ca, cb := cells[l.a], cells[l.b]
+		// Links originate from core cells only, so ca.core always holds;
+		// keep the guard for defensive clarity.
+		if ca == nil || cb == nil || !ca.core {
+			continue
+		}
+		conns[l.a] = append(conns[l.a], l.b)
+		if cb.core {
+			// Core-core connections are symmetric (Definition 4.3).
+			conns[l.b] = append(conns[l.b], l.a)
+		}
+	}
+	for coord, a := range cells {
+		st := EdgeCell
+		if a.core {
+			st = CoreCell
+		}
+		cl := Cell{Coord: coord, Population: a.pop, Status: st}
+		if st == CoreCell {
+			cl.Conns = conns[coord]
+		}
+		out.Cells = append(out.Cells, cl)
+	}
+	out.Normalize()
+	return out, nil
+}
+
+// CompressTo returns the summary compressed to the given level (0 returns
+// a clone) applying rate theta repeatedly.
+func (s *Summary) CompressTo(level, theta int) (*Summary, error) {
+	if level < s.Level {
+		return nil, fmt.Errorf("sgs: cannot refine from level %d to %d", s.Level, level)
+	}
+	cur := s.Clone()
+	for cur.Level < level {
+		next, err := cur.Compress(theta)
+		if err != nil {
+			return nil, err
+		}
+		cur = next
+	}
+	return cur, nil
+}
+
+// EstimateCells returns the exact number of skeletal grid cells the summary
+// would have at the next level with rate theta, without building it. This
+// is the space-consumption predictor used by the archiver's budget-aware
+// resolution selection (§6.1).
+func (s *Summary) EstimateCells(theta int) int {
+	if theta < 2 {
+		return len(s.Cells)
+	}
+	seen := make(map[grid.Coord]bool)
+	for i := range s.Cells {
+		var p grid.Coord
+		c := s.Cells[i].Coord
+		p.D = c.D
+		for j := uint8(0); j < c.D; j++ {
+			p.C[j] = int32(floorDiv(int64(c.C[j]), int64(theta)))
+		}
+		seen[p] = true
+	}
+	return len(seen)
+}
+
+func floorDiv(a, b int64) int64 {
+	q := a / b
+	if a%b != 0 && (a < 0) != (b < 0) {
+		q--
+	}
+	return q
+}

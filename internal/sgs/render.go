@@ -1,0 +1,68 @@
+package sgs
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Render draws a 2-D summary as ASCII art: '#' for core cells, '+' for
+// edge cells, '.' for empty space. It is used by sgstool and the examples
+// to let a human inspect a summarized cluster in a terminal, standing in
+// for the ViStream visual frontend referenced by the paper (§8.3).
+// Summaries with more than two dimensions are rendered as their projection
+// onto the first two dimensions.
+func (s *Summary) Render() string {
+	if len(s.Cells) == 0 {
+		return "(empty summary)\n"
+	}
+	minX, maxX := s.Cells[0].Coord.C[0], s.Cells[0].Coord.C[0]
+	minY, maxY := s.Cells[0].Coord.C[1], s.Cells[0].Coord.C[1]
+	if s.Dim == 1 {
+		minY, maxY = 0, 0
+	}
+	type key struct{ x, y int32 }
+	core := make(map[key]bool)
+	edge := make(map[key]bool)
+	for i := range s.Cells {
+		c := &s.Cells[i]
+		x := c.Coord.C[0]
+		var y int32
+		if s.Dim > 1 {
+			y = c.Coord.C[1]
+		}
+		if x < minX {
+			minX = x
+		}
+		if x > maxX {
+			maxX = x
+		}
+		if y < minY {
+			minY = y
+		}
+		if y > maxY {
+			maxY = y
+		}
+		k := key{x, y}
+		if c.Status == CoreCell {
+			core[k] = true
+		} else if !core[k] {
+			edge[k] = true
+		}
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s\n", s.String())
+	for y := maxY; y >= minY; y-- {
+		for x := minX; x <= maxX; x++ {
+			switch {
+			case core[key{x, y}]:
+				sb.WriteByte('#')
+			case edge[key{x, y}]:
+				sb.WriteByte('+')
+			default:
+				sb.WriteByte('.')
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}

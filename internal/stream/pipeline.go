@@ -1,0 +1,121 @@
+package stream
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"streamsum/internal/core"
+)
+
+// Pipeline runs extraction and result consumption (archiving, shipping to
+// an analyst UI) in separate goroutines connected by a bounded channel, so
+// a slow consumer does not stall tuple ingestion until the buffer fills —
+// the deployment shape of the paper's Figure 4, where the Pattern Archiver
+// and Analyzer run beside the Extractor.
+//
+// The Processor itself is single-threaded (its state is wildly mutable);
+// only the consumer runs concurrently. The pattern base (archive.Base) is
+// safe to use from the consumer while matching queries run elsewhere.
+type Pipeline struct {
+	Proc Processor
+	// OnWindow consumes each completed window in emission order. It runs
+	// on the consumer goroutine.
+	OnWindow func(*core.WindowResult) error
+	// Buffer is the channel capacity between extractor and consumer
+	// (default 4 windows).
+	Buffer int
+	// FlushTail emits the final partial window at end of stream.
+	FlushTail bool
+}
+
+// Run drains the source; it returns when the stream ends, the context is
+// canceled, or either side fails.
+func (pl *Pipeline) Run(ctx context.Context, src Source) (RunStats, error) {
+	buf := pl.Buffer
+	if buf <= 0 {
+		buf = 4
+	}
+	results := make(chan *core.WindowResult, buf)
+
+	var consumeErr error
+	var wg sync.WaitGroup
+	if pl.OnWindow != nil {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for w := range results {
+				if consumeErr != nil {
+					continue // drain without processing after failure
+				}
+				if err := pl.OnWindow(w); err != nil {
+					consumeErr = err
+				}
+			}
+		}()
+	}
+
+	var st RunStats
+	var runErr error
+	send := func(ws []*core.WindowResult) bool {
+		for _, w := range ws {
+			st.Windows++
+			st.Clusters += len(w.Clusters)
+			if pl.OnWindow == nil {
+				continue
+			}
+			select {
+			case results <- w:
+			case <-ctx.Done():
+				runErr = ctx.Err()
+				return false
+			}
+		}
+		return true
+	}
+
+loop:
+	for {
+		select {
+		case <-ctx.Done():
+			runErr = ctx.Err()
+			break loop
+		default:
+		}
+		t, ok := src.Next()
+		if !ok {
+			break
+		}
+		start := time.Now()
+		_, emitted, err := pl.Proc.Push(t.P, t.TS)
+		st.Elapsed += time.Since(start)
+		if err != nil {
+			runErr = err
+			break
+		}
+		st.Tuples++
+		if !send(emitted) {
+			break
+		}
+	}
+	if runErr == nil {
+		if cs, ok := src.(*CSVSource); ok && cs.Err() != nil {
+			runErr = cs.Err()
+		}
+	}
+	if runErr == nil && pl.FlushTail {
+		start := time.Now()
+		w := pl.Proc.Flush()
+		st.Elapsed += time.Since(start)
+		send([]*core.WindowResult{w})
+	}
+	close(results)
+	wg.Wait()
+	if st.Windows > 0 {
+		st.PerWindow = st.Elapsed / time.Duration(st.Windows)
+	}
+	if runErr != nil {
+		return st, runErr
+	}
+	return st, consumeErr
+}

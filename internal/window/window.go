@@ -1,0 +1,136 @@
+// Package window implements the periodic sliding-window semantics of CQL
+// (Arasu et al.) used by the paper (§3.1), together with the lifespan
+// analysis of §5.3 (Observations 5.2–5.4) that C-SGS builds on.
+//
+// A window specification has a fixed window size Win and slide size Slide,
+// both expressed in the same unit: tuple counts for count-based windows or
+// abstract time ticks for time-based windows. Window W_n covers the
+// half-open interval [n·Slide, n·Slide+Win) of that unit. Because every
+// quantity here is an int64 "position" (a tuple sequence number or a
+// timestamp tick), the count-based and time-based cases share one
+// implementation; only the position assigned to each tuple differs.
+//
+// The key insight the paper exploits is that in sliding windows both object
+// lifespans and neighborship lifespans are deterministic at arrival time,
+// so all expiry-driven maintenance can be pre-computed at insertion.
+package window
+
+import (
+	"fmt"
+	"math"
+)
+
+// Kind selects between count-based and time-based windows.
+type Kind int
+
+const (
+	// CountBased windows measure Win and Slide in tuple counts; a tuple's
+	// position is its arrival sequence number.
+	CountBased Kind = iota
+	// TimeBased windows measure Win and Slide in time ticks; a tuple's
+	// position is its timestamp.
+	TimeBased
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case CountBased:
+		return "count"
+	case TimeBased:
+		return "time"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Never is the window index returned when an event never happens (e.g. the
+// core career of an object that never attains θc neighbors). It is smaller
+// than every valid window index.
+const Never int64 = math.MinInt64
+
+// Spec is a periodic sliding-window specification.
+type Spec struct {
+	Kind  Kind
+	Win   int64 // window extent (tuples or ticks), > 0
+	Slide int64 // slide extent (tuples or ticks), > 0, <= Win
+}
+
+// Validate reports whether the specification is usable.
+func (s Spec) Validate() error {
+	if s.Win <= 0 {
+		return fmt.Errorf("window: win must be positive, got %d", s.Win)
+	}
+	if s.Slide <= 0 {
+		return fmt.Errorf("window: slide must be positive, got %d", s.Slide)
+	}
+	if s.Slide > s.Win {
+		return fmt.Errorf("window: slide %d larger than win %d (gaps between windows are unsupported)", s.Slide, s.Win)
+	}
+	return nil
+}
+
+// Views returns the number of concurrently open windows any single position
+// belongs to: ceil(Win/Slide). The paper calls these "views"; Extra-N's
+// maintenance cost grows with this number while C-SGS's does not (§8.1).
+func (s Spec) Views() int {
+	return int((s.Win + s.Slide - 1) / s.Slide)
+}
+
+// Start returns the first position covered by window n.
+func (s Spec) Start(n int64) int64 { return n * s.Slide }
+
+// End returns the position one past the last covered by window n.
+func (s Spec) End(n int64) int64 { return n*s.Slide + s.Win }
+
+// floorDiv is floor division for possibly-negative numerators.
+func floorDiv(a, b int64) int64 {
+	q := a / b
+	if a%b != 0 && (a < 0) != (b < 0) {
+		q--
+	}
+	return q
+}
+
+// LastWindow returns the index of the last window that covers position t:
+// the largest n with n·Slide <= t, i.e. floor(t/Slide). Together with
+// FirstWindow it realizes Observation 5.2: the lifespan of an object is
+// fully determined by its position.
+func (s Spec) LastWindow(t int64) int64 { return floorDiv(t, s.Slide) }
+
+// FirstWindow returns the index of the first window that covers position t
+// (clamped at 0, the first window of the stream).
+func (s Spec) FirstWindow(t int64) int64 {
+	n := floorDiv(t-s.Win, s.Slide) + 1
+	if n < 0 {
+		n = 0
+	}
+	return n
+}
+
+// Covers reports whether window n covers position t.
+func (s Spec) Covers(n, t int64) bool {
+	return s.Start(n) <= t && t < s.End(n)
+}
+
+// Lifespan returns how many windows, starting from the current window cur,
+// the position t will still participate in (Observation 5.2). A tuple that
+// is already expired has lifespan 0.
+func (s Spec) Lifespan(t, cur int64) int64 {
+	l := s.LastWindow(t) - cur + 1
+	if l < 0 {
+		return 0
+	}
+	return l
+}
+
+// NeighborLastWindow returns the last window in which a neighborship
+// between objects with positions ta and tb holds (Observation 5.3): the
+// minimum of the two objects' last windows.
+func (s Spec) NeighborLastWindow(ta, tb int64) int64 {
+	la, lb := s.LastWindow(ta), s.LastWindow(tb)
+	if la < lb {
+		return la
+	}
+	return lb
+}

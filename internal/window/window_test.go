@@ -1,0 +1,249 @@
+package window
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestValidate(t *testing.T) {
+	cases := []struct {
+		spec Spec
+		ok   bool
+	}{
+		{Spec{CountBased, 10, 5}, true},
+		{Spec{CountBased, 10, 10}, true},
+		{Spec{CountBased, 10, 11}, false},
+		{Spec{CountBased, 0, 1}, false},
+		{Spec{CountBased, 10, 0}, false},
+		{Spec{TimeBased, -1, 1}, false},
+	}
+	for _, c := range cases {
+		err := c.spec.Validate()
+		if (err == nil) != c.ok {
+			t.Errorf("Validate(%+v) = %v, want ok=%v", c.spec, err, c.ok)
+		}
+	}
+}
+
+func TestViews(t *testing.T) {
+	cases := []struct {
+		win, slide int64
+		want       int
+	}{
+		{10000, 1000, 10},
+		{10000, 100, 100},
+		{10000, 5000, 2},
+		{10000, 10000, 1},
+		{10000, 3000, 4}, // ceil(10/3)
+	}
+	for _, c := range cases {
+		s := Spec{CountBased, c.win, c.slide}
+		if got := s.Views(); got != c.want {
+			t.Errorf("Views(%d/%d) = %d, want %d", c.win, c.slide, got, c.want)
+		}
+	}
+}
+
+func TestWindowCoverage(t *testing.T) {
+	s := Spec{CountBased, 10, 4}
+	// Window 0 covers [0,10), window 1 covers [4,14), window 2 [8,18).
+	if s.Start(1) != 4 || s.End(1) != 14 {
+		t.Fatalf("window 1 bounds wrong: [%d,%d)", s.Start(1), s.End(1))
+	}
+	if !s.Covers(0, 0) || !s.Covers(0, 9) || s.Covers(0, 10) {
+		t.Error("window 0 coverage wrong")
+	}
+	if !s.Covers(1, 4) || s.Covers(1, 3) {
+		t.Error("window 1 coverage wrong")
+	}
+}
+
+func TestFirstLastWindowConsistency(t *testing.T) {
+	// Exhaustive check on a small spec: FirstWindow/LastWindow must agree
+	// with the Covers predicate.
+	specs := []Spec{
+		{CountBased, 10, 4},
+		{CountBased, 10, 10},
+		{CountBased, 7, 3},
+		{CountBased, 12, 1},
+	}
+	for _, s := range specs {
+		for pos := int64(0); pos < 60; pos++ {
+			first, last := s.FirstWindow(pos), s.LastWindow(pos)
+			if first > last {
+				t.Fatalf("%+v pos %d: first %d > last %d", s, pos, first, last)
+			}
+			for n := int64(0); n < 70; n++ {
+				want := s.Covers(n, pos)
+				got := n >= first && n <= last
+				if want != got {
+					t.Fatalf("%+v pos %d window %d: covers=%v but range says %v", s, pos, n, want, got)
+				}
+			}
+		}
+	}
+}
+
+func TestLifespan(t *testing.T) {
+	s := Spec{CountBased, 10000, 1000}
+	// A tuple at position 9999 arriving into window 0 lives 10 windows.
+	if got := s.Lifespan(9999, 0); got != 10 {
+		t.Errorf("Lifespan(9999, 0) = %d, want 10", got)
+	}
+	// The first tuple of window 0 lives exactly 1 window.
+	if got := s.Lifespan(999, 0); got != 1 {
+		t.Errorf("Lifespan(999, 0) = %d, want 1", got)
+	}
+	// Expired tuples have lifespan 0.
+	if got := s.Lifespan(999, 5); got != 0 {
+		t.Errorf("Lifespan(999, 5) = %d, want 0", got)
+	}
+}
+
+func TestNeighborLastWindow(t *testing.T) {
+	s := Spec{CountBased, 10, 2}
+	// Observation 5.3: neighborship survives until the earlier expiry.
+	if got := s.NeighborLastWindow(7, 15); got != s.LastWindow(7) {
+		t.Errorf("NeighborLastWindow = %d, want %d", got, s.LastWindow(7))
+	}
+	if got := s.NeighborLastWindow(15, 7); got != s.LastWindow(7) {
+		t.Error("NeighborLastWindow should be symmetric")
+	}
+}
+
+func TestTimeBasedSameArithmetic(t *testing.T) {
+	// Time-based windows use timestamps; irregular positions are fine.
+	s := Spec{TimeBased, 100, 30}
+	ts := []int64{0, 5, 29, 30, 95, 99, 100, 130}
+	for _, x := range ts {
+		first, last := s.FirstWindow(x), s.LastWindow(x)
+		for n := first; n <= last; n++ {
+			if !s.Covers(n, x) {
+				t.Fatalf("ts %d should be covered by window %d", x, n)
+			}
+		}
+		if first > 0 && s.Covers(first-1, x) {
+			t.Fatalf("ts %d covered before FirstWindow", x)
+		}
+		if s.Covers(last+1, x) {
+			t.Fatalf("ts %d covered after LastWindow", x)
+		}
+	}
+}
+
+func TestCoreTrackerIncrementalMatchesBatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		thetaC := 1 + rng.Intn(6)
+		ownLast := int64(rng.Intn(50))
+		tr := NewCoreTracker(thetaC)
+		var lasts []int64
+		n := rng.Intn(20)
+		for i := 0; i < n; i++ {
+			l := int64(rng.Intn(60))
+			lasts = append(lasts, l)
+			tr.Add(l)
+			if got, want := tr.CoreLast(ownLast), CoreLast(ownLast, lasts, thetaC); got != want {
+				t.Fatalf("incremental CoreLast=%d batch=%d (θc=%d lasts=%v)", got, want, thetaC, lasts)
+			}
+		}
+	}
+}
+
+func TestCoreTrackerSemantics(t *testing.T) {
+	// θc = 3; neighbors expiring at windows 5, 9, 2, 7.
+	// Sorted descending: 9,7,5,2 → 3rd largest = 5, so the object is core
+	// through window 5 (if it lives that long).
+	tr := NewCoreTracker(3)
+	for _, l := range []int64{5, 9, 2, 7} {
+		tr.Add(l)
+	}
+	if got := tr.CoreLast(100); got != 5 {
+		t.Errorf("CoreLast = %d, want 5", got)
+	}
+	if got := tr.CoreLast(4); got != 4 {
+		t.Errorf("CoreLast capped by own expiry = %d, want 4", got)
+	}
+	// Fewer than θc neighbors → never core.
+	tr2 := NewCoreTracker(3)
+	tr2.Add(5)
+	tr2.Add(9)
+	if got := tr2.CoreLast(100); got != Never {
+		t.Errorf("CoreLast with <θc neighbors = %d, want Never", got)
+	}
+}
+
+func TestCoreTrackerProlongSignal(t *testing.T) {
+	tr := NewCoreTracker(2)
+	if tr.Add(3) {
+		t.Error("first add cannot define a career for θc=2")
+	}
+	if !tr.Add(5) {
+		t.Error("career became defined; Add must report growth")
+	}
+	if tr.Add(1) {
+		t.Error("adding a smaller expiry must not grow the career")
+	}
+	if !tr.Add(9) {
+		t.Error("adding a larger expiry must grow the career (prolong)")
+	}
+	if got := tr.KthLast(); got != 5 {
+		t.Errorf("KthLast = %d, want 5 (two largest are 9,5)", got)
+	}
+}
+
+func TestEdgeLast(t *testing.T) {
+	// Neighbors' core careers end at windows 4 and 8; the object lives
+	// until window 6 → edge career can last until window 6.
+	if got := EdgeLast(6, []int64{4, 8}); got != 6 {
+		t.Errorf("EdgeLast = %d, want 6", got)
+	}
+	// Object outlives all core neighbors → capped by their core careers.
+	if got := EdgeLast(20, []int64{4, 8}); got != 8 {
+		t.Errorf("EdgeLast = %d, want 8", got)
+	}
+	if got := EdgeLast(20, nil); got != Never {
+		t.Errorf("EdgeLast with no core neighbors = %d, want Never", got)
+	}
+	if got := EdgeLast(20, []int64{Never, Never}); got != Never {
+		t.Errorf("EdgeLast with never-core neighbors = %d, want Never", got)
+	}
+}
+
+// Property: for random neighbor sets, the core career computed by the
+// tracker equals the definition: the largest m <= ownLast such that at
+// least θc neighbors have last >= m.
+func TestCoreLastDefinition(t *testing.T) {
+	f := func(rawLasts []uint8, rawOwn uint8, rawK uint8) bool {
+		thetaC := int(rawK%5) + 1
+		ownLast := int64(rawOwn % 64)
+		lasts := make([]int64, len(rawLasts))
+		for i, r := range rawLasts {
+			lasts[i] = int64(r % 64)
+		}
+		got := CoreLast(ownLast, lasts, thetaC)
+
+		// Oracle: scan windows downward from ownLast.
+		want := Never
+		sorted := append([]int64(nil), lasts...)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] > sorted[j] })
+		for m := ownLast; m >= 0; m-- {
+			cnt := 0
+			for _, l := range sorted {
+				if l >= m {
+					cnt++
+				}
+			}
+			if cnt >= thetaC {
+				want = m
+				break
+			}
+		}
+		return got == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,33 @@
+package streamsum
+
+import (
+	"streamsum/internal/regen"
+	"streamsum/internal/sgs"
+)
+
+// Representation utilities built on SGS: approximate full-representation
+// re-generation (§1 names it as a direct application of the
+// summarization) and structural diffing between two snapshots of a
+// tracked cluster.
+
+// RegenOptions tunes Regenerate.
+type RegenOptions = regen.Options
+
+// Regenerate synthesizes an approximate full representation from a
+// summary: each skeletal grid cell's exact population is scattered
+// uniformly inside the cell, conserving total population and the density
+// distribution at cell granularity. Every generated point lies within θr
+// of a true member of the original cluster (Lemma 4.3).
+func Regenerate(s *Summary, opts RegenOptions) []Point {
+	return regen.Points(s, opts)
+}
+
+// SummaryDiff describes the structural change between two summaries of
+// the same cluster at the same resolution.
+type SummaryDiff = sgs.Diff
+
+// DiffSummaries compares two summaries (old → new): cells added/removed,
+// status promotions/demotions, population movement, and cell-set overlap.
+func DiffSummaries(old, new *Summary) (SummaryDiff, error) {
+	return sgs.Compare(old, new)
+}

@@ -1,0 +1,339 @@
+// Package streamsum is a streaming density-based cluster mining library
+// with cluster summarization and matching, reproducing "Summarization and
+// Matching of Density-Based Clusters in Streaming Environments" (Yang,
+// Rundensteiner, Ward; PVLDB 5(2), 2011).
+//
+// The library detects arbitrarily shaped density-based clusters over
+// periodic sliding windows (CQL semantics) and returns each window's
+// clusters in two complementary representations:
+//
+//   - the full representation — every member tuple, for online monitoring;
+//   - the Skeletal Grid Summarization (SGS) — a compact multi-resolution
+//     summary preserving the cluster's location, shape, connectivity and
+//     density distribution, for archival and retrieval.
+//
+// Summaries can be archived into a pattern base (R-tree + feature indices)
+// and retrieved with cluster matching queries ("has a congestion like this
+// one been seen before?") using a filter-and-refine strategy.
+//
+// # Quick start
+//
+//	eng, _ := streamsum.New(streamsum.Options{
+//	    Dim: 2, ThetaR: 1.0, ThetaC: 4, Win: 1000, Slide: 200,
+//	    Archive: &streamsum.ArchiveOptions{},
+//	})
+//	for _, p := range points {
+//	    results, _ := eng.Push(p, 0)
+//	    for _, w := range results {
+//	        for _, c := range w.Clusters {
+//	            fmt.Println(len(c.Members), c.Summary)
+//	        }
+//	    }
+//	}
+//	matches, _, _ := eng.Match(streamsum.MatchOptions{
+//	    Target: someCluster.Summary, Threshold: 0.2, Limit: 3,
+//	})
+//
+// Queries can also be expressed in the paper's query language; see
+// NewFromQuery and MatchQuery.
+package streamsum
+
+import (
+	"fmt"
+
+	"streamsum/internal/archive"
+	"streamsum/internal/core"
+	"streamsum/internal/dbscan"
+	"streamsum/internal/extran"
+	"streamsum/internal/geom"
+	"streamsum/internal/grid"
+	"streamsum/internal/match"
+	"streamsum/internal/query"
+	"streamsum/internal/sgs"
+	"streamsum/internal/stream"
+	"streamsum/internal/window"
+)
+
+// Re-exported core types. The internal packages remain the implementation;
+// these aliases are the public vocabulary.
+type (
+	// Point is a position in d-dimensional space.
+	Point = geom.Point
+	// MBR is an axis-aligned minimum bounding rectangle.
+	MBR = geom.MBR
+	// Summary is the Skeletal Grid Summarization of one cluster.
+	Summary = sgs.Summary
+	// Cluster is one extracted cluster (full + summarized representation).
+	Cluster = core.Cluster
+	// WindowResult holds all clusters of one completed window.
+	WindowResult = core.WindowResult
+	// ArchiveOptions configures the pattern archiver (resolution and
+	// selective-archiving policy). The Dim field is filled in by New.
+	ArchiveOptions = archive.Config
+	// ArchiveEntry is one archived cluster.
+	ArchiveEntry = archive.Entry
+	// PatternBase is the archive of cluster summaries with its indices.
+	PatternBase = archive.Base
+	// Match is one result of a matching query.
+	Match = match.Match
+	// MatchStats reports filter-and-refine effectiveness.
+	MatchStats = match.Stats
+	// Weights configures the cluster distance metric.
+	Weights = match.Weights
+)
+
+// EqualWeights returns the paper's default metric weights (0.25 each,
+// position-insensitive).
+func EqualWeights() Weights { return match.EqualWeights() }
+
+// Options configures a streaming clustering engine (the DETECT query of
+// the paper's Figure 2).
+type Options struct {
+	// Dim is the tuple dimensionality (1..8).
+	Dim int
+	// ThetaR is the neighbor range threshold θr.
+	ThetaR float64
+	// ThetaC is the neighbor count threshold θc.
+	ThetaC int
+	// Win and Slide define the periodic sliding window, in tuples
+	// (default) or time ticks (TimeBased).
+	Win, Slide int64
+	// TimeBased selects time-based windows; Push's ts argument is then the
+	// tuple timestamp and must be non-decreasing.
+	TimeBased bool
+	// FullOnly disables summarization: clusters are extracted with the
+	// Extra-N algorithm in full representation only. The default (false)
+	// uses C-SGS, producing both representations at almost no extra cost.
+	FullOnly bool
+	// Archive, when non-nil, automatically archives every emitted summary
+	// into a pattern base (nil disables archiving). Requires !FullOnly.
+	Archive *ArchiveOptions
+	// ArchiveNovelty, when positive, enables evolution-driven selective
+	// archiving (the future-work direction of §6.2): a summary is archived
+	// only if its matching distance to everything already archived exceeds
+	// this threshold, so the pattern base stores each recurring pattern
+	// once instead of once per window.
+	ArchiveNovelty float64
+}
+
+// Engine is the end-to-end system of the paper's Figure 4: pattern
+// extractor + optional pattern archiver/base + pattern analyzer.
+// It is not safe for concurrent use except where noted (the pattern base
+// itself is concurrency-safe).
+type Engine struct {
+	opts Options
+	proc stream.Processor
+	base *archive.Base
+}
+
+// New creates an engine.
+func New(opts Options) (*Engine, error) {
+	spec := window.Spec{Win: opts.Win, Slide: opts.Slide}
+	if opts.TimeBased {
+		spec.Kind = window.TimeBased
+	}
+	cfg := core.Config{Dim: opts.Dim, ThetaR: opts.ThetaR, ThetaC: opts.ThetaC, Window: spec}
+	var (
+		proc stream.Processor
+		err  error
+	)
+	if opts.FullOnly {
+		if opts.Archive != nil {
+			return nil, fmt.Errorf("streamsum: archiving requires summarization (FullOnly must be false)")
+		}
+		proc, err = extran.New(cfg)
+	} else {
+		proc, err = core.New(cfg)
+	}
+	if err != nil {
+		return nil, err
+	}
+	e := &Engine{opts: opts, proc: proc}
+	if opts.Archive != nil {
+		ac := *opts.Archive
+		ac.Dim = opts.Dim
+		if (ac.Level > 0 || ac.ByteBudget > 0) && ac.Theta < 2 {
+			ac.Theta = 2
+		}
+		e.base, err = archive.New(ac)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return e, nil
+}
+
+// NewFromQuery creates an engine from a DETECT query in the paper's query
+// language (Figure 2). dim supplies the tuple dimensionality, which the
+// query language leaves to the schema. archiveOpts may be nil.
+func NewFromQuery(q string, dim int, archiveOpts *ArchiveOptions) (*Engine, error) {
+	cq, err := query.ParseCluster(q)
+	if err != nil {
+		return nil, err
+	}
+	return New(Options{
+		Dim:       dim,
+		ThetaR:    cq.ThetaR,
+		ThetaC:    cq.ThetaC,
+		Win:       cq.Win,
+		Slide:     cq.Slide,
+		TimeBased: cq.TimeBased,
+		FullOnly:  !cq.Summarized,
+		Archive:   archiveOpts,
+	})
+}
+
+// Push feeds one tuple; ts is ignored for count-based windows. Completed
+// windows are returned; their summaries are archived automatically when
+// archiving is configured.
+func (e *Engine) Push(p Point, ts int64) ([]*WindowResult, error) {
+	_, emitted, err := e.proc.Push(p, ts)
+	if err != nil {
+		return nil, err
+	}
+	for _, w := range emitted {
+		if err := e.archiveWindow(w); err != nil {
+			return emitted, err
+		}
+	}
+	return emitted, nil
+}
+
+// Flush force-emits the current (partial) window, archiving its summaries
+// like Push does.
+func (e *Engine) Flush() (*WindowResult, error) {
+	w := e.proc.Flush()
+	if err := e.archiveWindow(w); err != nil {
+		return w, err
+	}
+	return w, nil
+}
+
+func (e *Engine) archiveWindow(w *WindowResult) error {
+	if e.base == nil {
+		return nil
+	}
+	for _, c := range w.Clusters {
+		if c.Summary == nil {
+			continue
+		}
+		if e.opts.ArchiveNovelty > 0 && e.base.Len() > 0 {
+			// Evolution-driven archiving: skip patterns already
+			// represented in the base within the novelty threshold.
+			ms, _, err := match.Run(e.base, match.Query{
+				Target:    c.Summary,
+				Threshold: e.opts.ArchiveNovelty,
+				Limit:     1,
+			})
+			if err != nil {
+				return err
+			}
+			if len(ms) > 0 {
+				continue
+			}
+		}
+		if _, _, err := e.base.Put(c.Summary); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// PatternBase returns the engine's archive, or nil if archiving is
+// disabled. The base is safe for concurrent use.
+func (e *Engine) PatternBase() *PatternBase { return e.base }
+
+// MatchOptions configures a cluster matching query (Figure 3).
+type MatchOptions struct {
+	// Target is the to-be-matched cluster's summary.
+	Target *Summary
+	// Threshold is the maximum distance (0..1) for a match.
+	Threshold float64
+	// Weights configures the metric; nil means EqualWeights.
+	Weights *Weights
+	// Limit, when positive, returns only the closest Limit matches.
+	Limit int
+}
+
+// Match runs a cluster matching query against the engine's pattern base.
+func (e *Engine) Match(opts MatchOptions) ([]Match, MatchStats, error) {
+	if e.base == nil {
+		return nil, MatchStats{}, fmt.Errorf("streamsum: engine has no pattern base (set Options.Archive)")
+	}
+	return match.Run(e.base, match.Query{
+		Target:    opts.Target,
+		Threshold: opts.Threshold,
+		Weights:   opts.Weights,
+		Limit:     opts.Limit,
+	})
+}
+
+// MatchQuery runs a matching query written in the paper's query language
+// (Figure 3) with the given target summary bound to the query's cluster
+// reference.
+func (e *Engine) MatchQuery(q string, target *Summary) ([]Match, MatchStats, error) {
+	mq, err := query.ParseMatch(q)
+	if err != nil {
+		return nil, MatchStats{}, err
+	}
+	var w *Weights
+	if mq.HasWeights || mq.PositionSensitive {
+		ws := EqualWeights()
+		if mq.HasWeights {
+			ws.Volume, ws.Status, ws.Density, ws.Connectivity =
+				mq.Weights[0], mq.Weights[1], mq.Weights[2], mq.Weights[3]
+		}
+		ws.PositionSensitive = mq.PositionSensitive
+		w = &ws
+	}
+	return e.Match(MatchOptions{
+		Target:    target,
+		Threshold: mq.Threshold,
+		Weights:   w,
+		Limit:     mq.Limit,
+	})
+}
+
+// StaticCluster is one cluster found by SummarizeStatic.
+type StaticCluster struct {
+	Members []int64 // indices into the input points
+	Cores   []int64
+	Summary *Summary
+}
+
+// SummarizeStatic clusters a static point set (Definition 3.1, the DBSCAN
+// semantics) and builds the Basic SGS of each cluster. Use it to construct
+// to-be-matched clusters from data outside the stream, or to summarize a
+// finished window's data independently of the engine.
+func SummarizeStatic(pts []Point, thetaR float64, thetaC int) ([]StaticCluster, error) {
+	if len(pts) == 0 {
+		return nil, nil
+	}
+	geo, err := grid.NewGeometry(len(pts[0]), thetaR)
+	if err != nil {
+		return nil, err
+	}
+	ids := make([]int64, len(pts))
+	for i := range ids {
+		ids[i] = int64(i)
+	}
+	res, err := dbscan.Run(pts, ids, dbscan.Params{ThetaR: thetaR, ThetaC: thetaC})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]StaticCluster, 0, len(res.Clusters))
+	for ci, cl := range res.Clusters {
+		cpts := make([]Point, len(cl.Members))
+		isCore := make([]bool, len(cl.Members))
+		for i, id := range cl.Members {
+			cpts[i] = pts[id]
+			isCore[i] = res.IsCore[id]
+		}
+		s, err := sgs.FromCluster(geo, cpts, isCore, int64(ci), 0)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, StaticCluster{Members: cl.Members, Cores: cl.Cores, Summary: s})
+	}
+	return out, nil
+}

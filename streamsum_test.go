@@ -1,0 +1,222 @@
+package streamsum
+
+import (
+	"math/rand"
+	"testing"
+
+	"streamsum/internal/gen"
+)
+
+func TestEngineEndToEnd(t *testing.T) {
+	b := gen.GMTI(gen.GMTIConfig{Seed: 1}, 4000)
+	eng, err := New(Options{
+		Dim: 2, ThetaR: 1.0, ThetaC: 4, Win: 1000, Slide: 500,
+		Archive: &ArchiveOptions{},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	windows, clusters := 0, 0
+	var last *Cluster
+	for _, p := range b.Points {
+		results, err := eng.Push(p, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, w := range results {
+			windows++
+			clusters += len(w.Clusters)
+			for _, c := range w.Clusters {
+				if c.Summary == nil {
+					t.Fatal("C-SGS cluster without summary")
+				}
+				last = c
+			}
+		}
+	}
+	if windows == 0 || clusters == 0 || last == nil {
+		t.Fatalf("windows=%d clusters=%d", windows, clusters)
+	}
+	if eng.PatternBase().Len() != clusters {
+		t.Fatalf("archived %d of %d clusters", eng.PatternBase().Len(), clusters)
+	}
+	// Matching an extracted cluster against the archive finds itself.
+	matches, stats, err := eng.Match(MatchOptions{Target: last.Summary, Threshold: 0.2, Limit: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(matches) == 0 || matches[0].Distance > 1e-9 {
+		t.Fatalf("self match failed: %+v", matches)
+	}
+	if stats.IndexCandidates == 0 {
+		t.Fatal("no index candidates")
+	}
+}
+
+func TestEngineFullOnly(t *testing.T) {
+	eng, err := New(Options{Dim: 2, ThetaR: 1, ThetaC: 3, Win: 500, Slide: 500, FullOnly: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := gen.GMTI(gen.GMTIConfig{Seed: 2}, 1200)
+	sawCluster := false
+	for _, p := range b.Points {
+		results, err := eng.Push(p, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, w := range results {
+			for _, c := range w.Clusters {
+				sawCluster = true
+				if c.Summary != nil {
+					t.Fatal("FullOnly produced a summary")
+				}
+			}
+		}
+	}
+	if !sawCluster {
+		t.Fatal("no clusters")
+	}
+	if eng.PatternBase() != nil {
+		t.Fatal("FullOnly engine should have no pattern base")
+	}
+	if _, _, err := eng.Match(MatchOptions{}); err == nil {
+		t.Fatal("Match without pattern base should fail")
+	}
+	// FullOnly + Archive is contradictory.
+	if _, err := New(Options{Dim: 2, ThetaR: 1, ThetaC: 3, Win: 10, Slide: 10,
+		FullOnly: true, Archive: &ArchiveOptions{}}); err == nil {
+		t.Fatal("FullOnly+Archive accepted")
+	}
+}
+
+func TestNewFromQuery(t *testing.T) {
+	eng, err := NewFromQuery(`DETECT DensityBasedClusters f+s FROM trades
+		USING theta_range = 1.0 AND theta_cnt = 4
+		IN WINDOWS WITH win = 800 AND slide = 400`, 2, &ArchiveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := gen.GMTI(gen.GMTIConfig{Seed: 3}, 2500)
+	for _, p := range b.Points {
+		if _, err := eng.Push(p, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if eng.PatternBase().Len() == 0 {
+		t.Fatal("query-built engine archived nothing")
+	}
+	if _, err := NewFromQuery("garbage", 2, nil); err == nil {
+		t.Fatal("bad query accepted")
+	}
+	// Full-only via query language.
+	eng2, err := NewFromQuery(`DETECT DensityBasedClusters FULL FROM s
+		USING theta_range = 1 AND theta_cnt = 3
+		IN WINDOWS WITH win = 100 AND slide = 100`, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eng2.PatternBase() != nil {
+		t.Fatal("full-only query engine has pattern base")
+	}
+}
+
+func TestMatchQueryLanguage(t *testing.T) {
+	eng, err := New(Options{Dim: 2, ThetaR: 1.0, ThetaC: 4, Win: 1000, Slide: 500,
+		Archive: &ArchiveOptions{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := gen.GMTI(gen.GMTIConfig{Seed: 4}, 4000)
+	var target *Summary
+	for _, p := range b.Points {
+		results, err := eng.Push(p, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, w := range results {
+			for _, c := range w.Clusters {
+				target = c.Summary
+			}
+		}
+	}
+	if target == nil {
+		t.Fatal("no clusters")
+	}
+	matches, _, err := eng.MatchQuery(`GIVEN DensityBasedCluster input
+		SELECT DensityBasedClusters FROM History
+		WHERE Distance <= 0.2 LIMIT 3`, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(matches) == 0 || len(matches) > 3 {
+		t.Fatalf("%d matches", len(matches))
+	}
+	// With weights and position sensitivity.
+	if _, _, err := eng.MatchQuery(`GIVEN DensityBasedCluster input
+		SELECT DensityBasedClusters FROM History WHERE Distance <= 0.3
+		WITH WEIGHTS volume = 0.4, status = 0.2, density = 0.2, connectivity = 0.2
+		POSITION SENSITIVE`, target); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := eng.MatchQuery("nonsense", target); err == nil {
+		t.Fatal("bad match query accepted")
+	}
+}
+
+func TestSummarizeStatic(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	var pts []Point
+	for i := 0; i < 200; i++ {
+		pts = append(pts, Point{rng.NormFloat64() * 0.5, rng.NormFloat64() * 0.5})
+	}
+	for i := 0; i < 200; i++ {
+		pts = append(pts, Point{20 + rng.NormFloat64()*0.5, rng.NormFloat64() * 0.5})
+	}
+	clusters, err := SummarizeStatic(pts, 0.5, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(clusters) != 2 {
+		t.Fatalf("%d clusters", len(clusters))
+	}
+	for _, c := range clusters {
+		if c.Summary == nil || c.Summary.NumCells() == 0 {
+			t.Fatal("missing summary")
+		}
+		if c.Summary.TotalPopulation() != len(c.Members) {
+			t.Fatal("population mismatch")
+		}
+		if len(c.Cores) == 0 {
+			t.Fatal("no cores")
+		}
+	}
+	empty, err := SummarizeStatic(nil, 0.5, 4)
+	if err != nil || empty != nil {
+		t.Fatalf("empty input: %v %v", empty, err)
+	}
+}
+
+func TestFlushArchives(t *testing.T) {
+	eng, err := New(Options{Dim: 2, ThetaR: 1.0, ThetaC: 3, Win: 10000, Slide: 10000,
+		Archive: &ArchiveOptions{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := gen.GMTI(gen.GMTIConfig{Seed: 6}, 500)
+	for _, p := range b.Points {
+		if _, err := eng.Push(p, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w, err := eng.Flush()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(w.Clusters) == 0 {
+		t.Fatal("flush found no clusters")
+	}
+	if eng.PatternBase().Len() != len(w.Clusters) {
+		t.Fatal("flush did not archive")
+	}
+}

@@ -1,0 +1,63 @@
+package streamsum
+
+import (
+	"testing"
+
+	"streamsum/internal/gen"
+)
+
+func TestTimeBasedEngine(t *testing.T) {
+	b := gen.GMTI(gen.GMTIConfig{Seed: 51}, 8000)
+	// GMTI emits ~120 reports per tick; 8000 points span ~65 ticks, so the
+	// window must be a few ticks wide.
+	eng, err := New(Options{
+		Dim: 2, ThetaR: 1.2, ThetaC: 5,
+		Win: 30, Slide: 10, TimeBased: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	windows, clusters := 0, 0
+	for i, p := range b.Points {
+		results, err := eng.Push(p, b.TS[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		windows += len(results)
+		for _, w := range results {
+			clusters += len(w.Clusters)
+		}
+	}
+	if windows == 0 || clusters == 0 {
+		t.Fatalf("time-based engine: %d windows, %d clusters", windows, clusters)
+	}
+	// Out-of-order timestamps must be rejected.
+	if _, err := eng.Push(Point{0, 0}, 0); err == nil {
+		t.Fatal("out-of-order timestamp accepted")
+	}
+}
+
+func TestNegativeTimestampDropped(t *testing.T) {
+	eng, err := New(Options{Dim: 2, ThetaR: 1, ThetaC: 2, Win: 10, Slide: 10, TimeBased: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A tuple before the stream epoch can never appear in window >= 0; it
+	// must be dropped, not mis-clustered or leaked. (Timestamps below -1
+	// are additionally rejected as out-of-order by the monotonicity check.)
+	if _, err := eng.Push(Point{0, 0}, -1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Push(Point{0, 0}, 5); err != nil {
+		t.Fatal(err)
+	}
+	w, err := eng.Flush()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range w.Clusters {
+		if len(c.Members) > 1 {
+			t.Fatal("negative-timestamp tuple clustered")
+		}
+	}
+}

@@ -1,0 +1,32 @@
+package streamsum
+
+import (
+	"streamsum/internal/track"
+)
+
+// Cluster evolution tracking (an extension of the paper's framework: §2
+// motivates merge/split structural changes; §6.2 names evolution-driven
+// archiving as future work).
+
+// Tracker assigns stable identities to clusters across windows and
+// classifies transitions (appeared / continued / merged / split /
+// vanished). Feed it every WindowResult in order.
+type Tracker = track.Tracker
+
+// TrackEvent describes one cluster's transition into the current window.
+type TrackEvent = track.Event
+
+// TrackKind classifies a TrackEvent.
+type TrackKind = track.EventKind
+
+// Track event kinds.
+const (
+	TrackAppeared  = track.Appeared
+	TrackContinued = track.Continued
+	TrackMerged    = track.Merged
+	TrackSplit     = track.Split
+	TrackVanished  = track.Vanished
+)
+
+// NewTracker returns an empty cluster tracker.
+func NewTracker() *Tracker { return track.New() }

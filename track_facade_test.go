@@ -1,0 +1,85 @@
+package streamsum
+
+import (
+	"testing"
+
+	"streamsum/internal/gen"
+)
+
+func TestNoveltyArchivingDeduplicates(t *testing.T) {
+	b := gen.GMTI(gen.GMTIConfig{Convoys: 4, Seed: 13}, 20000)
+
+	run := func(novelty float64) int {
+		eng, err := New(Options{
+			Dim: 2, ThetaR: 1.2, ThetaC: 6, Win: 4000, Slide: 1000,
+			Archive:        &ArchiveOptions{MinPopulation: 15},
+			ArchiveNovelty: novelty,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, p := range b.Points {
+			if _, err := eng.Push(p, b.TS[i]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return eng.PatternBase().Len()
+	}
+
+	// Same-pattern snapshots in consecutive windows sit at grid-level
+	// distance ≈ 0.4-0.5 on this workload (fringe-cell churn and per-cell
+	// density shifts), so 0.45 is the calibrated "same pattern" threshold.
+	all := run(0)
+	novel := run(0.45)
+	if all == 0 {
+		t.Fatal("no clusters archived at all")
+	}
+	if novel >= all {
+		t.Fatalf("novelty archiving kept %d of %d — no deduplication", novel, all)
+	}
+	if novel == 0 {
+		t.Fatal("novelty archiving kept nothing")
+	}
+	// Slowly drifting convoys recur across windows: expect substantial
+	// deduplication.
+	if float64(novel) > 0.8*float64(all) {
+		t.Fatalf("novelty archiving kept %d of %d — deduplication too weak", novel, all)
+	}
+}
+
+func TestTrackerFacade(t *testing.T) {
+	b := gen.GMTI(gen.GMTIConfig{Convoys: 3, Seed: 17}, 12000)
+	eng, err := New(Options{Dim: 2, ThetaR: 1.2, ThetaC: 6, Win: 3000, Slide: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := NewTracker()
+	var appeared, continued int
+	for i, p := range b.Points {
+		results, err := eng.Push(p, b.TS[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, w := range results {
+			for _, ev := range tr.Advance(w) {
+				switch ev.Kind {
+				case TrackAppeared:
+					appeared++
+				case TrackContinued:
+					continued++
+					if ev.Cluster == nil {
+						t.Fatal("continued event without cluster")
+					}
+				}
+			}
+		}
+	}
+	if appeared == 0 {
+		t.Fatal("no clusters ever appeared")
+	}
+	// Convoys persist across windows: continuations must dominate
+	// appearances after the first window.
+	if continued < appeared {
+		t.Fatalf("appeared=%d continued=%d — tracking not linking windows", appeared, continued)
+	}
+}
