@@ -12,6 +12,11 @@
 //
 // With -archive FILE, every emitted summary is archived and the pattern
 // base is saved on exit (inspect it with sgstool).
+//
+// With -batch N (N = the query's slide is a good choice), tuples are fed
+// through the engine's batched ingest path, whose neighbor-discovery phase
+// fans out across -workers goroutines; output is identical to unbatched
+// operation.
 package main
 
 import (
@@ -63,6 +68,8 @@ func main() {
 	members := flag.Bool("members", false, "include member ids in output")
 	archivePath := flag.String("archive", "", "save the pattern base to this file on exit")
 	logPath := flag.String("log", "", "append summaries to this crash-safe log as windows complete")
+	workers := flag.Int("workers", 0, "parallel neighbor-discovery workers for batched ingest (0 = one per CPU, 1 = sequential)")
+	batch := flag.Int("batch", 0, "ingest batch size; 0 pushes tuple-by-tuple, otherwise tuples are fed through PushBatch in batches of this size (the query's slide is a good value)")
 	flag.Parse()
 
 	if *queryStr == "" {
@@ -103,11 +110,15 @@ func main() {
 		log.Fatalf("sgsd: unknown source %q", *source)
 	}
 
-	var archOpts *streamsum.ArchiveOptions
-	if *archivePath != "" {
-		archOpts = &streamsum.ArchiveOptions{}
+	opts, err := streamsum.OptionsFromQuery(*queryStr, dim)
+	if err != nil {
+		log.Fatal(err)
 	}
-	eng, err := streamsum.NewFromQuery(*queryStr, dim, archOpts)
+	if *archivePath != "" {
+		opts.Archive = &streamsum.ArchiveOptions{}
+	}
+	opts.Workers = *workers
+	eng, err := streamsum.New(opts)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -168,18 +179,51 @@ func main() {
 	}
 
 	tuples := 0
-	for {
-		t, ok := src.Next()
-		if !ok {
-			break
+	if *batch > 0 {
+		// Batched ingest: accumulate tuples and feed them through the
+		// two-phase (parallel discovery + sequential apply) pipeline.
+		pts := make([]geom.Point, 0, *batch)
+		tss := make([]int64, 0, *batch)
+		push := func() {
+			if len(pts) == 0 {
+				return
+			}
+			results, err := eng.PushBatch(pts, tss)
+			if err != nil {
+				log.Fatal(err)
+			}
+			tuples += len(pts)
+			pts, tss = pts[:0], tss[:0]
+			for _, w := range results {
+				emit(w)
+			}
 		}
-		results, err := eng.Push(geom.Point(t.P), t.TS)
-		if err != nil {
-			log.Fatal(err)
+		for {
+			t, ok := src.Next()
+			if !ok {
+				break
+			}
+			pts = append(pts, geom.Point(t.P))
+			tss = append(tss, t.TS)
+			if len(pts) == *batch {
+				push()
+			}
 		}
-		tuples++
-		for _, w := range results {
-			emit(w)
+		push()
+	} else {
+		for {
+			t, ok := src.Next()
+			if !ok {
+				break
+			}
+			results, err := eng.Push(geom.Point(t.P), t.TS)
+			if err != nil {
+				log.Fatal(err)
+			}
+			tuples++
+			for _, w := range results {
+				emit(w)
+			}
 		}
 	}
 	if cs, ok := src.(*stream.CSVSource); ok && cs.Err() != nil {

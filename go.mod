@@ -1,0 +1,3 @@
+module streamsum
+
+go 1.24

@@ -1,0 +1,216 @@
+package core
+
+import (
+	"encoding/json"
+	"math/rand"
+	"testing"
+
+	"streamsum/internal/geom"
+	"streamsum/internal/window"
+)
+
+// batchStream generates a fixed-seed stream with drifting dense blobs
+// plus background noise, exercising promotions, prolongs, shared edge
+// cells, and cell birth/death.
+func batchStream(n, dim int, seed int64) []geom.Point {
+	rng := rand.New(rand.NewSource(seed))
+	centers := make([]geom.Point, 4)
+	for i := range centers {
+		centers[i] = make(geom.Point, dim)
+		for d := range centers[i] {
+			centers[i][d] = rng.Float64() * 8
+		}
+	}
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		p := make(geom.Point, dim)
+		if rng.Float64() < 0.85 {
+			c := centers[rng.Intn(len(centers))]
+			for d := range p {
+				p[d] = c[d] + rng.NormFloat64()*0.4
+			}
+		} else {
+			for d := range p {
+				p[d] = rng.Float64() * 8
+			}
+		}
+		pts[i] = p
+		// Drift the centers slowly so clusters move across cells.
+		for _, c := range centers {
+			c[0] += rng.NormFloat64() * 0.01
+		}
+	}
+	return pts
+}
+
+// encodeWindows renders window results to canonical JSON so "identical"
+// means byte-identical, summaries included.
+func encodeWindows(t *testing.T, ws []*WindowResult) []byte {
+	t.Helper()
+	b, err := json.Marshal(ws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func runSequential(t *testing.T, cfg Config, pts []geom.Point, tss []int64) []*WindowResult {
+	t.Helper()
+	ex, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []*WindowResult
+	for i, p := range pts {
+		var ts int64
+		if tss != nil {
+			ts = tss[i]
+		}
+		_, emitted, err := ex.Push(p, ts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, emitted...)
+	}
+	return append(out, ex.Flush())
+}
+
+func runBatched(t *testing.T, cfg Config, pts []geom.Point, tss []int64, batch int) []*WindowResult {
+	t.Helper()
+	ex, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []*WindowResult
+	for lo := 0; lo < len(pts); lo += batch {
+		hi := lo + batch
+		if hi > len(pts) {
+			hi = len(pts)
+		}
+		var bt []int64
+		if tss != nil {
+			bt = tss[lo:hi]
+		}
+		emitted, err := ex.PushBatch(pts[lo:hi], bt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, emitted...)
+	}
+	return append(out, ex.Flush())
+}
+
+// TestPushBatchMatchesSequential is the determinism guarantee of the
+// batched ingest path: PushBatch with parallel discovery must emit
+// byte-identical WindowResults (members, cores, summaries) to one-by-one
+// Push on the same fixed-seed stream, across batch sizes that do and
+// don't align with window boundaries. Run under -race this also verifies
+// the discovery fan-out is race-clean.
+func TestPushBatchMatchesSequential(t *testing.T) {
+	pts := batchStream(6000, 2, 42)
+	cfg := Config{
+		Dim: 2, ThetaR: 0.7, ThetaC: 4,
+		Window:  window.Spec{Win: 1500, Slide: 300},
+		Workers: 4,
+	}
+	want := encodeWindows(t, runSequential(t, cfg, pts, nil))
+	for _, batch := range []int{1, 7, 300, 1000, 6000} {
+		got := encodeWindows(t, runBatched(t, cfg, pts, nil, batch))
+		if string(got) != string(want) {
+			t.Errorf("batch=%d: batched output differs from sequential", batch)
+		}
+	}
+}
+
+// TestPushBatchMatchesSequentialTimeBased repeats the guarantee for
+// time-based windows with bursty timestamps (many tuples sharing a tick).
+func TestPushBatchMatchesSequentialTimeBased(t *testing.T) {
+	pts := batchStream(4000, 3, 7)
+	rng := rand.New(rand.NewSource(99))
+	tss := make([]int64, len(pts))
+	tick := int64(0)
+	for i := range tss {
+		if rng.Float64() < 0.3 {
+			tick += int64(rng.Intn(3))
+		}
+		tss[i] = tick
+	}
+	cfg := Config{
+		Dim: 3, ThetaR: 0.9, ThetaC: 3,
+		Window:  window.Spec{Kind: window.TimeBased, Win: 90, Slide: 30},
+		Workers: 4,
+	}
+	want := encodeWindows(t, runSequential(t, cfg, pts, tss))
+	for _, batch := range []int{13, 500, 4000} {
+		got := encodeWindows(t, runBatched(t, cfg, pts, tss, batch))
+		if string(got) != string(want) {
+			t.Errorf("batch=%d: batched output differs from sequential (time-based)", batch)
+		}
+	}
+}
+
+// TestPushBatchNilTSSTimeBased checks a nil tss under time-based windows
+// reads as all-zero timestamps, exactly like a Push(p, 0) loop: no window
+// ever completes, every tuple lands in the current window.
+func TestPushBatchNilTSSTimeBased(t *testing.T) {
+	cfg := Config{Dim: 2, ThetaR: 1, ThetaC: 2,
+		Window: window.Spec{Kind: window.TimeBased, Win: 10, Slide: 5}, Workers: 2}
+	pts := batchStream(500, 2, 3)
+
+	seq, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range pts {
+		if _, _, err := seq.Push(p, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	bat, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	emitted, err := bat.PushBatch(pts, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(emitted) != 0 {
+		t.Fatalf("nil-tss time-based batch emitted %d windows, Push(p, 0) emits none", len(emitted))
+	}
+	wb := encodeWindows(t, []*WindowResult{seq.Flush()})
+	gb := encodeWindows(t, []*WindowResult{bat.Flush()})
+	if string(wb) != string(gb) {
+		t.Fatal("nil-tss time-based batch state differs from Push(p, 0) loop")
+	}
+}
+
+// TestPushBatchErrors checks error semantics match a sequential Push loop:
+// the batch stops at the offending tuple with every earlier tuple applied.
+func TestPushBatchErrors(t *testing.T) {
+	cfg := Config{Dim: 2, ThetaR: 1, ThetaC: 2, Window: window.Spec{Win: 10, Slide: 5}, Workers: 2}
+	ex, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = ex.PushBatch([]geom.Point{{1, 1}, {2, 2, 2}}, nil)
+	if err == nil {
+		t.Fatal("dimension mismatch not reported")
+	}
+	if got := ex.Stats().Objects; got != 1 {
+		t.Fatalf("prefix before error not applied: %d objects, want 1", got)
+	}
+
+	tcfg := Config{Dim: 1, ThetaR: 1, ThetaC: 2,
+		Window: window.Spec{Kind: window.TimeBased, Win: 10, Slide: 5}, Workers: 2}
+	tex, err := New(tcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = tex.PushBatch([]geom.Point{{1}, {2}, {3}}, []int64{5, 3, 4})
+	if err == nil {
+		t.Fatal("out-of-order position not reported")
+	}
+	if got := tex.Stats().Objects; got != 1 {
+		t.Fatalf("prefix before order error not applied: %d objects, want 1", got)
+	}
+}

@@ -53,6 +53,11 @@ type Config struct {
 	// is about. Used by ablation experiments; the public facade always
 	// summarizes.
 	SkipSummaries bool
+	// Workers bounds the fan-out of PushBatch's parallel neighbor-discovery
+	// phase. <= 0 means one worker per available CPU (GOMAXPROCS); 1 forces
+	// the fully sequential batch path. It has no effect on single-tuple
+	// Push, whose one range query search has nothing to fan out.
+	Workers int
 }
 
 // Validate checks the configuration.
@@ -98,6 +103,7 @@ type object struct {
 	cellIdx  int   // index within cell.objs
 	last     int64 // last window this object participates in
 	coreLast int64 // predicted last core window (window.Never if none)
+	grownSeg int64 // batch segment that last recorded a career growth (dedup)
 	tracker  window.CoreTracker
 	nbrs     []*object // neighbor refs; pruned lazily (see compactNbrs)
 }
@@ -155,6 +161,7 @@ type Extractor struct {
 	lastPos int64 // highest position pushed so far (monotonicity check)
 	nextID  int64 // next tuple id
 	nextCID int64 // next cluster id
+	segSeq  int64 // batch segment counter (career-growth dedup epoch)
 
 	cells  map[grid.Coord]*cell
 	expiry map[int64][]*object // window n -> objects with last == n

@@ -6,11 +6,76 @@ import (
 	"streamsum/internal/window"
 )
 
-// insert performs the "Handling Insertions" stage of C-SGS (§5.4): one
-// range query search for the new object, lifespan analysis of its own
-// career and the careers it prolongs or promotes, and the corresponding
-// status/connection updates on the skeletal grid cells.
+// The "Handling Insertions" stage of C-SGS (§5.4) is split into two halves
+// so the batched ingest path (batch.go) can fan the first across cores:
+//
+//   - discoverInto — the range query search: a pure read of the current
+//     window state that collects the new object's neighbors. Safe to run
+//     concurrently with other discoverInto calls over frozen state.
+//   - applyInsert — lifespan analysis and the status/connection updates on
+//     the skeletal grid cells. Single-writer; mutates everything.
+//
+// Single-tuple insert is the trivial composition of the two.
+
+// insert performs the full insertion stage for one tuple: one range query
+// search, lifespan analysis of its own career and the careers it prolongs
+// or promotes, and the corresponding status/connection updates.
 func (e *Extractor) insert(id int64, p geom.Point, pos int64) {
+	coord := e.geo.CoordOf(p)
+	e.applyInsert(id, p, pos, coord, e.discoverInto(coord, p, nil))
+}
+
+// scanCells visits every occupied cell that can contain neighbors of a
+// point in cell coord: the materialized cell plus its occupied-cell
+// links, or — when the cell itself is unoccupied — the occupied cells at
+// the neighbor offsets (the links only exist on materialized cells).
+// Read-only; both the sequential range query search and the batch
+// pipeline's per-cell scan resolution go through here so the two paths
+// cannot diverge.
+func (e *Extractor) scanCells(coord grid.Coord, visit func(*cell)) {
+	if c := e.cells[coord]; c != nil {
+		visit(c)
+		for _, nc := range c.nbrCells {
+			visit(nc)
+		}
+		return
+	}
+	for _, off := range e.geo.NeighborOffsets() {
+		if off.IsZero() {
+			continue
+		}
+		if nc, ok := e.cells[coord.Add(off)]; ok {
+			visit(nc)
+		}
+	}
+}
+
+// discoverInto appends to buf every live object within θr of p — the
+// single range query search of §5.3 ("we only run one rqs for each new
+// object and never re-run rqs for existing objects"), visiting p's own
+// cell plus the occupied cells linked to it. It reads but never writes the
+// extractor state, so any number of discoverInto calls may run
+// concurrently as long as no mutation (applyInsert, emit) overlaps — the
+// contract the parallel discovery phase of PushBatch is built on.
+func (e *Extractor) discoverInto(coord grid.Coord, p geom.Point, buf []*object) []*object {
+	r2 := e.cfg.ThetaR * e.cfg.ThetaR
+	e.scanCells(coord, func(nc *cell) {
+		for _, q := range nc.objs {
+			if geom.DistSq(p, q.p) <= r2 {
+				buf = append(buf, q)
+			}
+		}
+	})
+	return buf
+}
+
+// applyInsert wires one tuple with pre-discovered neighbors cands into the
+// window state: cell membership, neighbor references on both sides, career
+// (re)computation, and propagation of every career growth to cell statuses
+// and connections. It must see cands exactly as a fresh range query over
+// the current state would produce them (order is immaterial: all
+// downstream lifespan updates are max-accumulations).
+func (e *Extractor) applyInsert(id int64, p geom.Point, pos int64, coord grid.Coord, cands []*object) *object {
 	o := &object{
 		id:       id,
 		p:        p,
@@ -19,7 +84,6 @@ func (e *Extractor) insert(id int64, p geom.Point, pos int64) {
 		tracker:  window.NewCoreTracker(e.cfg.ThetaC),
 	}
 
-	coord := e.geo.CoordOf(p)
 	c := e.cells[coord]
 	if c == nil {
 		c = &cell{
@@ -44,33 +108,20 @@ func (e *Extractor) insert(id int64, p geom.Point, pos int64) {
 	e.objCount++
 	e.expiry[o.last] = append(e.expiry[o.last], o)
 
-	// The single range query search (§5.3: "we only run one rqs for each
-	// new object and never re-run rqs for existing objects"), visiting the
-	// object's own cell plus the occupied cells linked to it.
 	var affected []*object
-	r2 := e.cfg.ThetaR * e.cfg.ThetaR
-	for ci := -1; ci < len(c.nbrCells); ci++ {
-		nc := c
-		if ci >= 0 {
-			nc = c.nbrCells[ci]
-		}
-		for _, q := range nc.objs {
-			if q == o || geom.DistSq(p, q.p) > r2 {
-				continue
-			}
-			// Record the neighborship on both sides (Observation 5.3: its
-			// lifespan is min of the two expiries, implicit in the refs).
-			o.nbrs = append(o.nbrs, q)
-			q.nbrs = append(q.nbrs, o)
-			o.tracker.Add(q.last)
-			// The arrival may promote q to core or prolong q's core career
-			// (the "status promotion case 2"/"status prolong case 2" of
-			// Figure 6).
-			if q.tracker.Add(o.last) {
-				if nl := q.tracker.CoreLast(q.last); nl > q.coreLast {
-					q.coreLast = nl
-					affected = append(affected, q)
-				}
+	for _, q := range cands {
+		// Record the neighborship on both sides (Observation 5.3: its
+		// lifespan is min of the two expiries, implicit in the refs).
+		o.nbrs = append(o.nbrs, q)
+		q.nbrs = append(q.nbrs, o)
+		o.tracker.Add(q.last)
+		// The arrival may promote q to core or prolong q's core career
+		// (the "status promotion case 2"/"status prolong case 2" of
+		// Figure 6).
+		if q.tracker.Add(o.last) {
+			if nl := q.tracker.CoreLast(q.last); nl > q.coreLast {
+				q.coreLast = nl
+				affected = append(affected, q)
 			}
 		}
 	}
@@ -83,6 +134,7 @@ func (e *Extractor) insert(id int64, p geom.Point, pos int64) {
 	for _, q := range affected {
 		e.refresh(q)
 	}
+	return o
 }
 
 // refresh re-derives, for every neighbor pair (a, b) incident to a, the
@@ -104,6 +156,13 @@ func (e *Extractor) refresh(a *object) {
 		ca.coreLast = a.coreLast
 	}
 	live := 0
+	// Neighbor lists are built cell by cell, so consecutive entries
+	// usually share a cell; memoizing the last neighbor cell's connection
+	// entries turns the dominant Coord-keyed map lookups into pointer
+	// compares. Entries are still created exactly when a live lifespan
+	// needs one, as before.
+	var memoCell *cell
+	var memoEA, memoEB *connEntry
 	for _, b := range a.nbrs {
 		if b.last < e.cur { // expired neighbor: prune lazily
 			continue
@@ -114,30 +173,41 @@ func (e *Extractor) refresh(a *object) {
 		if cb == ca {
 			continue // intra-cell pairs need no connection meta-data
 		}
+		if cb != memoCell {
+			memoCell, memoEA, memoEB = cb, nil, nil
+		}
 		// Core-core connection (symmetric).
 		if v := min64(a.coreLast, b.coreLast); v >= e.cur {
-			ea := ca.conn(cb.coord)
-			if v > ea.coreLast {
-				ea.coreLast = v
+			if memoEA == nil {
+				memoEA = ca.conn(cb.coord)
 			}
-			eb := cb.conn(ca.coord)
-			if v > eb.coreLast {
-				eb.coreLast = v
+			if v > memoEA.coreLast {
+				memoEA.coreLast = v
+			}
+			if memoEB == nil {
+				memoEB = cb.conn(ca.coord)
+			}
+			if v > memoEB.coreLast {
+				memoEB.coreLast = v
 			}
 		}
 		// a-core side attachment: b stays attached to cell(a) while b is
 		// alive and a is core.
 		if v := min64(a.coreLast, b.last); v >= e.cur {
-			ea := ca.conn(cb.coord)
-			if v > ea.attachOut {
-				ea.attachOut = v
+			if memoEA == nil {
+				memoEA = ca.conn(cb.coord)
+			}
+			if v > memoEA.attachOut {
+				memoEA.attachOut = v
 			}
 		}
 		// b-core side attachment.
 		if v := min64(b.coreLast, a.last); v >= e.cur {
-			eb := cb.conn(ca.coord)
-			if v > eb.attachOut {
-				eb.attachOut = v
+			if memoEB == nil {
+				memoEB = cb.conn(ca.coord)
+			}
+			if v > memoEB.attachOut {
+				memoEB.attachOut = v
 			}
 		}
 	}

@@ -1,0 +1,217 @@
+package extran
+
+import (
+	"streamsum/internal/core"
+	"streamsum/internal/geom"
+	"streamsum/internal/grid"
+	"streamsum/internal/par"
+	"streamsum/internal/window"
+)
+
+// Batched ingest for the Extra-N baseline, mirroring core's phased
+// pipeline (see internal/core/batch.go for the full rationale): a batch
+// is cut into emission-free segments; each segment's range query searches
+// and new-object career constructions fan out read-only over the frozen
+// PointIndex, intra-segment neighbors are found through a temporary
+// per-segment cell map, and all shared-state mutation replays
+// sequentially in arrival order. The per-view union-find maintenance —
+// Extra-N's distinguishing (and view-count-dependent) cost — defers to
+// one unionViews pass per touched object with final careers, which is
+// exact for the same reason deferred refresh is in core: the views a pair
+// must be joined in form the interval [cur, min of final careers], unions
+// are idempotent, and the pre-segment invariant already covers the
+// interval up to the pre-segment careers. Keeping the baseline
+// batch-capable keeps the paper's §8.1 comparison meaningful at batched
+// ingestion rates too.
+
+type batchEntry struct {
+	id  int64
+	p   geom.Point
+	pos int64
+}
+
+// segCell mirrors core's per-segment cell grouping: per-cell scan and
+// candidate sets computed once and shared by the cell's tuples.
+type segCell struct {
+	coord grid.Coord
+	idxs  []int32        // segment tuple indices located in this cell
+	scan  [][]grid.Entry // entry slices of reachable occupied index cells
+	cands []int32        // segment tuple indices in CanNeighbor cells
+}
+
+// PushBatch feeds a batch of tuples with semantics identical to calling
+// Push for each tuple in order; see core.(*Extractor).PushBatch for the
+// exact contract (tss, error behavior, emission interleaving).
+func (e *Extractor) PushBatch(pts []geom.Point, tss []int64) ([]*core.WindowResult, error) {
+	if tss != nil && len(tss) != len(pts) {
+		return nil, errTSLen(len(tss), len(pts))
+	}
+	var out []*core.WindowResult
+	seg := make([]batchEntry, 0, len(pts))
+	flush := func() {
+		if len(seg) > 0 {
+			e.insertSegment(seg)
+			seg = seg[:0]
+		}
+	}
+	for i, p := range pts {
+		if len(p) != e.cfg.Dim {
+			flush()
+			return out, errDim(len(p), e.cfg.Dim)
+		}
+		id := e.nextID
+		e.nextID++
+		pos := id
+		if e.cfg.Window.Kind == window.TimeBased {
+			pos = 0 // nil tss reads as all-zero timestamps, like Push(p, 0)
+			if tss != nil {
+				pos = tss[i]
+			}
+		}
+		if pos < e.lastPos {
+			flush()
+			return out, errOrder(pos, e.lastPos)
+		}
+		e.lastPos = pos
+		if pos >= e.cfg.Window.End(e.cur) {
+			flush()
+			for pos >= e.cfg.Window.End(e.cur) {
+				out = append(out, e.emit())
+			}
+		}
+		if e.cfg.Window.LastWindow(pos) < e.cur {
+			continue
+		}
+		seg = append(seg, batchEntry{id: id, p: p, pos: pos})
+	}
+	flush()
+	return out, nil
+}
+
+func (e *Extractor) insertSegment(seg []batchEntry) {
+	n := len(seg)
+	workers := par.DefaultWorkers(e.cfg.Workers)
+	if n < 2 || workers == 1 {
+		for _, t := range seg {
+			e.insert(t.id, t.p, t.pos)
+		}
+		return
+	}
+	e.segSeq++
+
+	// Phase 0: materialize objects and group the segment by occupied cell
+	// in first-touch order.
+	objs := make([]*object, n)
+	entries := make([]grid.Entry, n)
+	existing := make([][]*object, n)
+	tupCell := make([]int32, n)
+	var cells []segCell
+	cellIdx := make(map[grid.Coord]int32, n)
+	for k, t := range seg {
+		objs[k] = &object{
+			id:       t.id,
+			p:        t.p,
+			last:     e.cfg.Window.LastWindow(t.pos),
+			coreLast: window.Never,
+			tracker:  window.NewCoreTracker(e.cfg.ThetaC),
+		}
+		entries[k] = grid.Entry{ID: t.id, P: t.p}
+		coord := e.geo.CoordOf(t.p)
+		ci, ok := cellIdx[coord]
+		if !ok {
+			ci = int32(len(cells))
+			cellIdx[coord] = ci
+			cells = append(cells, segCell{coord: coord})
+		}
+		cells[ci].idxs = append(cells[ci].idxs, int32(k))
+		tupCell[k] = ci
+	}
+
+	// Phase 1a (parallel over cells): per-cell scan and candidate sets.
+	par.For(workers, len(cells), func(i int) {
+		sc := &cells[i]
+		e.ix.CellScan(sc.coord, func(ents []grid.Entry) bool {
+			sc.scan = append(sc.scan, ents)
+			return true
+		})
+		for j := range cells {
+			if e.geo.CanNeighbor(sc.coord, cells[j].coord) {
+				sc.cands = append(sc.cands, cells[j].idxs...)
+			}
+		}
+	})
+
+	// Phase 1b (parallel over tuples): discovery + private career
+	// construction.
+	r2 := e.cfg.ThetaR * e.cfg.ThetaR
+	par.For(workers, n, func(k int) {
+		o := objs[k]
+		p := seg[k].p
+		sc := &cells[tupCell[k]]
+		var ex []*object
+		for _, ents := range sc.scan {
+			for i := range ents {
+				if geom.DistSq(p, ents[i].P) <= r2 {
+					ex = append(ex, e.objs[ents[i].ID])
+				}
+			}
+		}
+		existing[k] = ex
+		var local []int32
+		for _, m := range sc.cands {
+			if int(m) != k && geom.DistSq(p, seg[m].p) <= r2 {
+				local = append(local, m)
+			}
+		}
+		o.nbrs = make([]*object, 0, len(ex)+len(local))
+		for _, q := range ex {
+			o.nbrs = append(o.nbrs, q)
+			o.tracker.Add(q.last)
+		}
+		for _, m := range local {
+			q := objs[m]
+			o.nbrs = append(o.nbrs, q)
+			o.tracker.Add(q.last)
+		}
+		o.coreLast = o.tracker.CoreLast(o.last)
+	})
+
+	// Phase 2 (sequential): registration and shared-state career growth,
+	// in arrival order.
+	type grownEntry struct {
+		q   *object
+		old int64 // pre-segment core career (lower bound for re-unioning)
+	}
+	var grown []grownEntry
+	for k := range seg {
+		o := objs[k]
+		e.objs[o.id] = o
+		e.expiry[o.last] = append(e.expiry[o.last], o)
+		for _, q := range existing[k] {
+			q.nbrs = append(q.nbrs, o)
+			if q.tracker.Add(o.last) {
+				if nl := q.tracker.CoreLast(q.last); nl > q.coreLast {
+					if q.grownSeg != e.segSeq {
+						q.grownSeg = e.segSeq
+						grown = append(grown, grownEntry{q, q.coreLast})
+					}
+					q.coreLast = nl
+				}
+			}
+		}
+	}
+	e.ix.BulkInsert(entries)
+
+	// Phase 3 (sequential): per-view union-find maintenance with final
+	// careers, once per touched object.
+	for _, o := range objs {
+		e.unionViews(o, e.cur)
+	}
+	for _, g := range grown {
+		from := g.old + 1
+		if from < e.cur {
+			from = e.cur
+		}
+		e.unionViews(g.q, from)
+	}
+}

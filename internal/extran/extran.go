@@ -24,6 +24,7 @@
 package extran
 
 import (
+	"fmt"
 	"sort"
 
 	"streamsum/internal/core"
@@ -42,6 +43,7 @@ type object struct {
 	p        geom.Point
 	last     int64
 	coreLast int64
+	grownSeg int64 // batch segment that last recorded a career growth (dedup)
 	tracker  window.CoreTracker
 	nbrs     []*object
 }
@@ -80,6 +82,7 @@ type Extractor struct {
 	lastPos int64
 	nextID  int64
 	nextCID int64
+	segSeq  int64 // batch segment counter (career-growth dedup epoch)
 
 	objs   map[int64]*object
 	views  map[int64]*view     // window index -> predicted membership
@@ -153,6 +156,25 @@ func (e *Extractor) Push(p geom.Point, ts int64) (int64, []*core.WindowResult, e
 func (e *Extractor) Flush() *core.WindowResult { return e.emit() }
 
 func (e *Extractor) insert(id int64, p geom.Point, pos int64) {
+	e.applyInsert(id, p, pos, e.discoverInto(p, nil))
+}
+
+// discoverInto appends to buf every live object within θr of p — the one
+// range query search per arrival. Pure read of the index and object table;
+// safe to run concurrently with other discoverInto calls over frozen
+// state (the batched path's parallel discovery phase, see batch.go).
+func (e *Extractor) discoverInto(p geom.Point, buf []*object) []*object {
+	e.ix.RangeQuery(p, func(ent grid.Entry) bool {
+		buf = append(buf, e.objs[ent.ID])
+		return true
+	})
+	return buf
+}
+
+// applyInsert wires one tuple with pre-discovered neighbors cands into the
+// window state. Mirrors core.applyInsert: all mutation (object table,
+// index, trackers, per-view union-find forests) happens here, sequentially.
+func (e *Extractor) applyInsert(id int64, p geom.Point, pos int64, cands []*object) *object {
 	o := &object{
 		id:       id,
 		p:        p,
@@ -163,14 +185,12 @@ func (e *Extractor) insert(id int64, p geom.Point, pos int64) {
 	e.objs[id] = o
 	e.expiry[o.last] = append(e.expiry[o.last], o)
 
-	// One range query search per arrival.
 	type grown struct {
 		q   *object
 		old int64
 	}
 	var affected []grown
-	e.ix.RangeQuery(p, func(ent grid.Entry) bool {
-		q := e.objs[ent.ID]
+	for _, q := range cands {
 		o.nbrs = append(o.nbrs, q)
 		q.nbrs = append(q.nbrs, o)
 		o.tracker.Add(q.last)
@@ -180,8 +200,7 @@ func (e *Extractor) insert(id int64, p geom.Point, pos int64) {
 				q.coreLast = nl
 			}
 		}
-		return true
-	})
+	}
 	e.ix.Insert(id, p)
 	o.coreLast = o.tracker.CoreLast(o.last)
 
@@ -197,6 +216,7 @@ func (e *Extractor) insert(id int64, p geom.Point, pos int64) {
 		}
 		e.unionViews(g.q, from)
 	}
+	return o
 }
 
 // unionViews joins a with each of its core neighbors in all views from
@@ -331,12 +351,19 @@ type dimError struct{ got, want int }
 
 func errDim(got, want int) error { return &dimError{got, want} }
 func (e *dimError) Error() string {
-	return "extran: tuple dimension mismatch"
+	return fmt.Sprintf("extran: tuple dimension %d != query dimension %d", e.got, e.want)
 }
 
 type orderError struct{ pos, last int64 }
 
 func errOrder(pos, last int64) error { return &orderError{pos, last} }
 func (e *orderError) Error() string {
-	return "extran: out-of-order position"
+	return fmt.Sprintf("extran: out-of-order position %d after %d", e.pos, e.last)
+}
+
+type tsLenError struct{ got, want int }
+
+func errTSLen(got, want int) error { return &tsLenError{got, want} }
+func (e *tsLenError) Error() string {
+	return fmt.Sprintf("extran: PushBatch got %d timestamps for %d tuples", e.got, e.want)
 }

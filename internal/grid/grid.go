@@ -200,6 +200,32 @@ func (g *Geometry) MinDistBetween(a, b Coord) float64 {
 // range query search it runs per arriving object.
 func (g *Geometry) NeighborOffsets() []Coord { return g.offsets }
 
+// CanNeighbor reports whether cells a and b can contain points within
+// radius θr of each other. It is exactly the membership rule behind
+// NeighborOffsets applied to an arbitrary coordinate pair, so
+// CanNeighbor(c, c.Add(off)) is true iff off is in NeighborOffsets. The
+// batched ingest path uses it to relate the occupied cells of a segment
+// pairwise instead of probing every offset through a map.
+func (g *Geometry) CanNeighbor(a, b Coord) bool {
+	reach := g.Reach()
+	var s float64
+	for i := 0; i < g.dim; i++ {
+		d := a.C[i] - b.C[i]
+		if d < 0 {
+			d = -d
+		}
+		if d > reach {
+			return false
+		}
+		gap := float64(d) - 1
+		if gap > 0 {
+			dd := gap * g.side
+			s += dd * dd
+		}
+	}
+	return s <= g.radius*g.radius*(1+1e-12)
+}
+
 // Reach returns the maximum per-dimension cell offset that can contain
 // neighbors.
 func (g *Geometry) Reach() int32 {

@@ -25,6 +25,17 @@ type pcell struct {
 // and θr range queries. It is the range-query-search substrate used by the
 // non-integrated algorithms (static DBSCAN, Extra-N, RSP generation); C-SGS
 // embeds the same cell structure directly in its skeletal grid cells.
+//
+// # Concurrency
+//
+// PointIndex is single-writer. Its read path — RangeQuery, Neighbors,
+// CountNeighbors, Cells, Len, Geometry — performs no mutation of any kind
+// (no lazy cell creation, no rebalancing), so any number of goroutines may
+// read concurrently provided no Insert/BulkInsert/Remove overlaps with
+// them. This is the contract the batched ingest pipeline relies on: the
+// parallel neighbor-discovery phase fans read-only range queries over a
+// frozen index, and all writes happen in the sequential apply phase that
+// follows.
 type PointIndex struct {
 	geo   *Geometry
 	cells map[Coord]*pcell
@@ -80,6 +91,24 @@ func (ix *PointIndex) Insert(id int64, p geom.Point) {
 	pc := ix.cellOf(ix.geo.CoordOf(p), true)
 	pc.entries = append(pc.entries, Entry{ID: id, P: p})
 	ix.size++
+}
+
+// BulkInsert adds a batch of entries. It is equivalent to calling Insert
+// for each entry in order but amortizes the cell lookup across runs of
+// spatially adjacent entries — streams are usually locality-heavy, so
+// consecutive tuples often land in the same cell.
+func (ix *PointIndex) BulkInsert(entries []Entry) {
+	var pc *pcell
+	var have Coord
+	for _, en := range entries {
+		c := ix.geo.CoordOf(en.P)
+		if pc == nil || c != have {
+			pc = ix.cellOf(c, true)
+			have = c
+		}
+		pc.entries = append(pc.entries, en)
+		ix.size++
+	}
 }
 
 // Remove deletes the entry with the given id located at p. It returns true
@@ -139,6 +168,33 @@ func (ix *PointIndex) RangeQuery(q geom.Point, visit func(Entry) bool) {
 	for _, nb := range center.nbrs {
 		if !scan(nb) {
 			return
+		}
+	}
+}
+
+// CellScan visits the entry slice of every occupied cell that can contain
+// points within θr of a point in cell c, including c's own cell. Like
+// RangeQuery it is part of the read-only path; the batched ingest pipeline
+// calls it once per occupied segment cell and shares the result across
+// that cell's tuples, hoisting the offset probing out of the per-tuple
+// loop. Iteration stops early if visit returns false.
+func (ix *PointIndex) CellScan(c Coord, visit func([]Entry) bool) {
+	if pc := ix.cells[c]; pc != nil {
+		if !visit(pc.entries) {
+			return
+		}
+		for _, nb := range pc.nbrs {
+			if !visit(nb.entries) {
+				return
+			}
+		}
+		return
+	}
+	for _, off := range ix.geo.NeighborOffsets() {
+		if pc, ok := ix.cells[c.Add(off)]; ok {
+			if !visit(pc.entries) {
+				return
+			}
 		}
 	}
 }

@@ -1,0 +1,74 @@
+// Package par provides the minimal data-parallel primitive the batched
+// ingest path is built on: a bounded fork-join loop over an index range.
+//
+// The batched C-SGS pipeline (core.PushBatch, extran.PushBatch) splits
+// every slide batch into a read-only neighbor-discovery phase and a
+// sequential state-update phase; par.For is the fan-out used by the
+// discovery phase. It is deliberately tiny — no task stealing, no
+// futures — because discovery work items (one range query search each)
+// are uniform enough that chunked static-ish scheduling over an atomic
+// cursor balances well.
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// DefaultWorkers resolves a worker-count setting: values <= 0 mean "one
+// worker per available CPU" (GOMAXPROCS).
+func DefaultWorkers(n int) int {
+	if n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// chunk is the number of consecutive indices a worker claims per cursor
+// bump. Small enough to balance skewed cells, large enough to amortize
+// the atomic add.
+const chunk = 32
+
+// For runs fn(i) for every i in [0, n), fanned across at most workers
+// goroutines, and returns when all calls have completed. fn must be safe
+// to call concurrently for distinct i. With workers <= 1 (or tiny n) the
+// loop runs inline on the caller's goroutine — zero overhead for the
+// sequential configuration.
+func For(workers, n int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	workers = DefaultWorkers(workers)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 || n <= chunk {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var cursor atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				lo := int(cursor.Add(chunk)) - chunk
+				if lo >= n {
+					return
+				}
+				hi := lo + chunk
+				if hi > n {
+					hi = n
+				}
+				for i := lo; i < hi; i++ {
+					fn(i)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}

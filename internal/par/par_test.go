@@ -1,0 +1,39 @@
+package par
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestForCoversRange(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 4, 7} {
+		for _, n := range []int{0, 1, 31, 32, 33, 100, 1000} {
+			seen := make([]atomic.Int32, n)
+			For(workers, n, func(i int) { seen[i].Add(1) })
+			for i := range seen {
+				if got := seen[i].Load(); got != 1 {
+					t.Fatalf("workers=%d n=%d: index %d visited %d times", workers, n, i, got)
+				}
+			}
+		}
+	}
+}
+
+func TestDefaultWorkers(t *testing.T) {
+	if DefaultWorkers(3) != 3 {
+		t.Fatal("explicit worker count not honored")
+	}
+	if DefaultWorkers(0) < 1 || DefaultWorkers(-1) < 1 {
+		t.Fatal("defaulted worker count must be >= 1")
+	}
+}
+
+func TestForConcurrentSum(t *testing.T) {
+	const n = 5000
+	var sum atomic.Int64
+	For(8, n, func(i int) { sum.Add(int64(i)) })
+	want := int64(n) * (n - 1) / 2
+	if got := sum.Load(); got != want {
+		t.Fatalf("sum = %d, want %d", got, want)
+	}
+}

@@ -1,0 +1,284 @@
+package stream
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sync"
+	"time"
+
+	"streamsum/internal/core"
+	"streamsum/internal/geom"
+)
+
+// Sharded is the scale-out executor: it hash-partitions one source across
+// N independent Processors (shards), each running on its own goroutine
+// with micro-batched ingestion, plus the existing consumer stage (one
+// goroutine receiving every shard's completed windows, serialized).
+//
+// Each shard is a fully independent clustering instance over its
+// partition of the stream — the operator computes per-partition clusters,
+// not a global clustering of the union. That is the intended semantics
+// for horizontally partitioned workloads (per-region traffic feeds,
+// per-symbol trade streams, ...): choose a Partition function whose
+// classes are the units you want clustered together. Within a shard,
+// results are emitted in window order; across shards the interleaving at
+// the consumer is nondeterministic, so OnWindow receives the shard index.
+//
+// Combined with BatchProcessor shards (whose PushBatch fans neighbor
+// discovery over a worker pool), this stacks two axes of parallelism:
+// across shards, and across cores inside each shard's discovery phase.
+type Sharded struct {
+	// Procs are the per-shard processors; len(Procs) is the shard count.
+	Procs []Processor
+	// Partition maps a tuple to a shard in [0, len(Procs)). Nil selects
+	// PartitionByPoint. Results outside the range are reduced modulo the
+	// shard count.
+	Partition func(Tuple) int
+	// OnWindow consumes completed windows with their shard of origin. It
+	// runs on a single consumer goroutine; an error stops the run.
+	OnWindow func(shard int, w *core.WindowResult) error
+	// BatchSize caps the micro-batch a shard hands to PushBatch (default
+	// 512). Shards whose Processor is not a BatchProcessor fall back to
+	// per-tuple Push.
+	BatchSize int
+	// Buffer is the per-shard input channel capacity (default 2×BatchSize).
+	Buffer int
+	// FlushTail force-emits each shard's final partial window at end of
+	// stream.
+	FlushTail bool
+}
+
+// PartitionByPoint returns the default deterministic partitioner: an
+// FNV-1a hash of the point's coordinate bit patterns, reduced mod n. Equal
+// points always land on the same shard, so a shard sees a consistent
+// region of the space whenever the workload itself is spatially keyed.
+func PartitionByPoint(n int) func(Tuple) int {
+	return func(t Tuple) int {
+		h := uint64(14695981039346656037)
+		for _, v := range t.P {
+			b := math.Float64bits(v)
+			for s := uint(0); s < 64; s += 8 {
+				h ^= (b >> s) & 0xff
+				h *= 1099511628211
+			}
+		}
+		return int(h % uint64(n))
+	}
+}
+
+// shardWindow tags a completed window with its shard of origin.
+type shardWindow struct {
+	shard int
+	w     *core.WindowResult
+}
+
+// Run drains the source across all shards; it returns when the stream
+// ends, the context is canceled, or any stage fails. RunStats.Elapsed is
+// wall-clock time of the whole run (the shards overlap, so per-shard CPU
+// times do not add up); Windows and Clusters aggregate across shards.
+func (s *Sharded) Run(ctx context.Context, src Source) (RunStats, error) {
+	var st RunStats
+	n := len(s.Procs)
+	if n == 0 {
+		return st, fmt.Errorf("stream: sharded executor needs at least one shard")
+	}
+	part := s.Partition
+	if part == nil {
+		part = PartitionByPoint(n)
+	}
+	batch := s.BatchSize
+	if batch <= 0 {
+		batch = 512
+	}
+	buf := s.Buffer
+	if buf <= 0 {
+		buf = 2 * batch
+	}
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	var errOnce sync.Once
+	var runErr error
+	fail := func(err error) {
+		if err != nil {
+			errOnce.Do(func() {
+				runErr = err
+				cancel()
+			})
+		}
+	}
+
+	ins := make([]chan Tuple, n)
+	for i := range ins {
+		ins[i] = make(chan Tuple, buf)
+	}
+	results := make(chan shardWindow, 2*n)
+
+	// Consumer stage: serialize every shard's windows into OnWindow.
+	var windows, clusters int
+	var consumerWG sync.WaitGroup
+	consumerWG.Add(1)
+	go func() {
+		defer consumerWG.Done()
+		failed := false
+		for r := range results {
+			windows++
+			clusters += len(r.w.Clusters)
+			if s.OnWindow != nil && !failed {
+				if err := s.OnWindow(r.shard, r.w); err != nil {
+					failed = true
+					fail(err)
+				}
+			}
+		}
+	}()
+
+	var shardWG sync.WaitGroup
+	for i := range s.Procs {
+		shardWG.Add(1)
+		go func(i int) {
+			defer shardWG.Done()
+			s.runShard(ctx, i, ins[i], results, batch, fail)
+		}(i)
+	}
+
+	start := time.Now()
+feed:
+	for {
+		select {
+		case <-ctx.Done():
+			break feed
+		default:
+		}
+		t, ok := src.Next()
+		if !ok {
+			break
+		}
+		sh := part(t) % n
+		if sh < 0 {
+			sh += n
+		}
+		select {
+		case ins[sh] <- t:
+			st.Tuples++
+		case <-ctx.Done():
+			break feed
+		}
+	}
+	for _, ch := range ins {
+		close(ch)
+	}
+	shardWG.Wait()
+	close(results)
+	consumerWG.Wait()
+
+	st.Elapsed = time.Since(start)
+	st.Windows = windows
+	st.Clusters = clusters
+	if st.Windows > 0 {
+		st.PerWindow = st.Elapsed / time.Duration(st.Windows)
+	}
+	if runErr == nil {
+		if cs, ok := src.(*CSVSource); ok && cs.Err() != nil {
+			runErr = cs.Err()
+		}
+	}
+	if runErr == nil && ctx.Err() != nil {
+		runErr = ctx.Err()
+	}
+	return st, runErr
+}
+
+// runShard is one shard's ingest loop: blocking receive of the first
+// tuple, opportunistic top-up to a full micro-batch, one PushBatch (or
+// Push fallback), repeat.
+func (s *Sharded) runShard(ctx context.Context, shard int, in <-chan Tuple,
+	results chan<- shardWindow, batch int, fail func(error)) {
+
+	proc := s.Procs[shard]
+	bp, canBatch := proc.(BatchProcessor)
+	pts := make([]geom.Point, 0, batch)
+	tss := make([]int64, 0, batch)
+
+	emit := func(ws []*core.WindowResult) bool {
+		for _, w := range ws {
+			select {
+			case results <- shardWindow{shard, w}:
+			case <-ctx.Done():
+				return false
+			}
+		}
+		return true
+	}
+	flush := func() bool {
+		if len(pts) == 0 {
+			return true
+		}
+		var ws []*core.WindowResult
+		var err error
+		if canBatch {
+			ws, err = bp.PushBatch(pts, tss)
+		} else {
+			for j := range pts {
+				var emitted []*core.WindowResult
+				_, emitted, err = proc.Push(pts[j], tss[j])
+				if err != nil {
+					break
+				}
+				ws = append(ws, emitted...)
+			}
+		}
+		pts, tss = pts[:0], tss[:0]
+		if err != nil {
+			fail(err)
+			return false
+		}
+		return emit(ws)
+	}
+	tail := func() {
+		if !s.FlushTail {
+			return
+		}
+		emit([]*core.WindowResult{proc.Flush()})
+	}
+
+	for {
+		select {
+		case t, ok := <-in:
+			if !ok {
+				if flush() {
+					tail()
+				}
+				return
+			}
+			pts = append(pts, t.P)
+			tss = append(tss, t.TS)
+		case <-ctx.Done():
+			return
+		}
+		open := true
+	fill:
+		for open && len(pts) < batch {
+			select {
+			case t, ok := <-in:
+				if !ok {
+					open = false
+					break fill
+				}
+				pts = append(pts, t.P)
+				tss = append(tss, t.TS)
+			default:
+				break fill
+			}
+		}
+		if !flush() {
+			return
+		}
+		if !open {
+			tail()
+			return
+		}
+	}
+}

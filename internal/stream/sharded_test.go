@@ -1,0 +1,148 @@
+package stream
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"streamsum/internal/core"
+	"streamsum/internal/geom"
+	"streamsum/internal/window"
+)
+
+func shardedTestStream(n int, seed int64) []geom.Point {
+	rng := rand.New(rand.NewSource(seed))
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		if rng.Float64() < 0.8 {
+			cx, cy := float64(rng.Intn(3))*3, float64(rng.Intn(3))*3
+			pts[i] = geom.Point{cx + rng.NormFloat64()*0.3, cy + rng.NormFloat64()*0.3}
+		} else {
+			pts[i] = geom.Point{rng.Float64() * 9, rng.Float64() * 9}
+		}
+	}
+	return pts
+}
+
+// TestShardedMatchesPerShardSequential: every shard of the sharded
+// executor must emit exactly the windows a sequential run over that
+// shard's sub-stream would emit, in the same order.
+func TestShardedMatchesPerShardSequential(t *testing.T) {
+	const shards = 3
+	pts := shardedTestStream(9000, 17)
+	cfg := core.Config{
+		Dim: 2, ThetaR: 0.5, ThetaC: 3,
+		Window:  window.Spec{Win: 600, Slide: 200},
+		Workers: 2,
+	}
+
+	procs := make([]Processor, shards)
+	for i := range procs {
+		ex, err := core.New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		procs[i] = ex
+	}
+	got := make([][]*core.WindowResult, shards)
+	sh := &Sharded{
+		Procs:     procs,
+		BatchSize: 128,
+		FlushTail: true,
+		OnWindow: func(shard int, w *core.WindowResult) error {
+			got[shard] = append(got[shard], w)
+			return nil
+		},
+	}
+	st, err := sh.Run(context.Background(), FromSlice(pts, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Tuples != len(pts) {
+		t.Fatalf("fed %d tuples, want %d", st.Tuples, len(pts))
+	}
+
+	part := PartitionByPoint(shards)
+	sub := make([][]geom.Point, shards)
+	for _, p := range pts {
+		i := part(Tuple{P: p})
+		sub[i] = append(sub[i], p)
+	}
+	totalWindows := 0
+	for i := 0; i < shards; i++ {
+		ex, err := core.New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var want []*core.WindowResult
+		exec := &Executor{Proc: ex, FlushTail: true, OnWindow: func(w *core.WindowResult) error {
+			want = append(want, w)
+			return nil
+		}}
+		if _, err := exec.Run(FromSlice(sub[i], nil)); err != nil {
+			t.Fatal(err)
+		}
+		wb, _ := json.Marshal(want)
+		gb, _ := json.Marshal(got[i])
+		if string(wb) != string(gb) {
+			t.Errorf("shard %d: sharded output differs from sequential over its sub-stream", i)
+		}
+		totalWindows += len(want)
+	}
+	if st.Windows != totalWindows {
+		t.Errorf("aggregate Windows = %d, want %d", st.Windows, totalWindows)
+	}
+}
+
+// TestShardedConsumerError checks an OnWindow failure stops the run and
+// surfaces the error.
+func TestShardedConsumerError(t *testing.T) {
+	pts := shardedTestStream(4000, 5)
+	cfg := core.Config{Dim: 2, ThetaR: 0.5, ThetaC: 3,
+		Window: window.Spec{Win: 300, Slide: 100}}
+	boom := fmt.Errorf("consumer exploded")
+	procs := make([]Processor, 2)
+	for i := range procs {
+		ex, err := core.New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		procs[i] = ex
+	}
+	sh := &Sharded{
+		Procs:    procs,
+		OnWindow: func(int, *core.WindowResult) error { return boom },
+	}
+	if _, err := sh.Run(context.Background(), FromSlice(pts, nil)); err != boom {
+		t.Fatalf("err = %v, want %v", err, boom)
+	}
+}
+
+// TestShardedCancel checks context cancellation terminates the run.
+func TestShardedCancel(t *testing.T) {
+	cfg := core.Config{Dim: 2, ThetaR: 0.5, ThetaC: 3,
+		Window: window.Spec{Win: 300, Slide: 100}}
+	ex, err := core.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	n := 0
+	src := funcSource(func() (Tuple, bool) {
+		n++
+		if n == 1000 {
+			cancel()
+		}
+		return Tuple{P: geom.Point{float64(n % 7), float64(n % 5)}}, true
+	})
+	sh := &Sharded{Procs: []Processor{ex}}
+	if _, err := sh.Run(ctx, src); err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+type funcSource func() (Tuple, bool)
+
+func (f funcSource) Next() (Tuple, bool) { return f() }

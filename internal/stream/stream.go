@@ -38,6 +38,15 @@ type Processor interface {
 	Flush() *core.WindowResult
 }
 
+// BatchProcessor is a Processor that can additionally ingest whole slide
+// batches through the two-phase pipeline (parallel read-only neighbor
+// discovery, sequential state update) with semantics identical to pushing
+// the tuples one by one. Both extractors implement it.
+type BatchProcessor interface {
+	Processor
+	PushBatch(pts []geom.Point, tss []int64) ([]*core.WindowResult, error)
+}
+
 // sliceSource iterates over in-memory points.
 type sliceSource struct {
 	pts []geom.Point

@@ -16,6 +16,22 @@
 // and retrieved with cluster matching queries ("has a congestion like this
 // one been seen before?") using a filter-and-refine strategy.
 //
+// # Ingestion: Push, PushBatch, sharding
+//
+// Push feeds one tuple at a time. For high-rate streams, PushBatch feeds a
+// whole batch (typically one slide's worth) through a two-phase pipeline:
+// the per-tuple range query search — the dominant per-insertion cost in
+// the paper's analysis — runs as a read-only fan-out across Options.Workers
+// goroutines over the frozen window state, and all state updates then
+// replay sequentially in arrival order. The batch path is guaranteed to
+// emit window-for-window identical results to sequential Push; it only
+// reorganizes where neighbors are *found*, never how state is updated.
+//
+// For horizontally partitioned workloads, internal/stream's Sharded
+// executor drives N independent engines (hash- or key-partitioned) with a
+// serialized consumer stage, stacking shard-level parallelism on top of
+// the per-batch discovery fan-out.
+//
 // # Quick start
 //
 //	eng, _ := streamsum.New(streamsum.Options{
@@ -114,6 +130,10 @@ type Options struct {
 	// this threshold, so the pattern base stores each recurring pattern
 	// once instead of once per window.
 	ArchiveNovelty float64
+	// Workers bounds the parallel neighbor-discovery fan-out used by
+	// PushBatch: <= 0 means one worker per available CPU, 1 forces the
+	// fully sequential batch path. Single-tuple Push is unaffected.
+	Workers int
 }
 
 // Engine is the end-to-end system of the paper's Figure 4: pattern
@@ -132,7 +152,7 @@ func New(opts Options) (*Engine, error) {
 	if opts.TimeBased {
 		spec.Kind = window.TimeBased
 	}
-	cfg := core.Config{Dim: opts.Dim, ThetaR: opts.ThetaR, ThetaC: opts.ThetaC, Window: spec}
+	cfg := core.Config{Dim: opts.Dim, ThetaR: opts.ThetaR, ThetaC: opts.ThetaC, Window: spec, Workers: opts.Workers}
 	var (
 		proc stream.Processor
 		err  error
@@ -163,15 +183,17 @@ func New(opts Options) (*Engine, error) {
 	return e, nil
 }
 
-// NewFromQuery creates an engine from a DETECT query in the paper's query
-// language (Figure 2). dim supplies the tuple dimensionality, which the
-// query language leaves to the schema. archiveOpts may be nil.
-func NewFromQuery(q string, dim int, archiveOpts *ArchiveOptions) (*Engine, error) {
+// OptionsFromQuery parses a DETECT query in the paper's query language
+// (Figure 2) into engine Options. dim supplies the tuple dimensionality,
+// which the query language leaves to the schema. Execution-side knobs the
+// language does not cover (Workers, Archive, ArchiveNovelty) can be set on
+// the returned Options before calling New.
+func OptionsFromQuery(q string, dim int) (Options, error) {
 	cq, err := query.ParseCluster(q)
 	if err != nil {
-		return nil, err
+		return Options{}, err
 	}
-	return New(Options{
+	return Options{
 		Dim:       dim,
 		ThetaR:    cq.ThetaR,
 		ThetaC:    cq.ThetaC,
@@ -179,8 +201,19 @@ func NewFromQuery(q string, dim int, archiveOpts *ArchiveOptions) (*Engine, erro
 		Slide:     cq.Slide,
 		TimeBased: cq.TimeBased,
 		FullOnly:  !cq.Summarized,
-		Archive:   archiveOpts,
-	})
+	}, nil
+}
+
+// NewFromQuery creates an engine from a DETECT query in the paper's query
+// language (Figure 2). dim supplies the tuple dimensionality, which the
+// query language leaves to the schema. archiveOpts may be nil.
+func NewFromQuery(q string, dim int, archiveOpts *ArchiveOptions) (*Engine, error) {
+	opts, err := OptionsFromQuery(q, dim)
+	if err != nil {
+		return nil, err
+	}
+	opts.Archive = archiveOpts
+	return New(opts)
 }
 
 // Push feeds one tuple; ts is ignored for count-based windows. Completed
@@ -197,6 +230,46 @@ func (e *Engine) Push(p Point, ts int64) ([]*WindowResult, error) {
 		}
 	}
 	return emitted, nil
+}
+
+// PushBatch feeds a batch of tuples with semantics identical to calling
+// Push for each tuple in order: completed windows are returned in order
+// and archived automatically when archiving is configured. tss supplies
+// per-tuple timestamps for time-based windows and may be nil for
+// count-based ones. The batch's neighbor-discovery phase fans out across
+// Options.Workers goroutines; batching one slide's worth of tuples per
+// call amortizes best.
+func (e *Engine) PushBatch(pts []Point, tss []int64) ([]*WindowResult, error) {
+	if tss != nil && len(tss) != len(pts) {
+		return nil, fmt.Errorf("streamsum: PushBatch got %d timestamps for %d points", len(tss), len(pts))
+	}
+	bp, ok := e.proc.(stream.BatchProcessor)
+	if !ok {
+		// No batch-capable processor wired in: degrade to a Push loop.
+		var out []*WindowResult
+		for i, p := range pts {
+			var ts int64
+			if tss != nil {
+				ts = tss[i]
+			}
+			emitted, err := e.Push(p, ts)
+			out = append(out, emitted...)
+			if err != nil {
+				return out, err
+			}
+		}
+		return out, nil
+	}
+	emitted, err := bp.PushBatch(pts, tss)
+	// Windows completed before a mid-batch error are still real output and
+	// get archived, exactly as a sequential Push loop would have done
+	// before hitting the bad tuple.
+	for _, w := range emitted {
+		if aerr := e.archiveWindow(w); aerr != nil {
+			return emitted, aerr
+		}
+	}
+	return emitted, err
 }
 
 // Flush force-emits the current (partial) window, archiving its summaries
