@@ -5,6 +5,9 @@
 //	BenchmarkPushSequential      — the single-tuple Push hot path (baseline)
 //	BenchmarkPushBatch/...       — PushBatch with the parallel neighbor-
 //	                               discovery phase, swept over worker counts
+//	                               (EmitWorkers swept in lockstep)
+//	BenchmarkEmit/...            — output-stage scaling in isolation,
+//	                               swept over EmitWorkers
 //	BenchmarkShardedIngest/...   — the sharded executor, swept over shard
 //	                               counts (per-partition clustering)
 //
@@ -33,8 +36,11 @@ func ingestConfig(workers int) core.Config {
 	pc := experiments.Cases[1]
 	return core.Config{
 		Dim: 4, ThetaR: pc.ThetaR, ThetaC: pc.ThetaC,
-		Window:  window.Spec{Win: ingestWin, Slide: ingestSlide},
-		Workers: workers,
+		Window: window.Spec{Win: ingestWin, Slide: ingestSlide},
+		// One knob drives both fan-outs in the sweep: discovery workers
+		// during ingest and output-stage workers during the per-slide emit.
+		Workers:     workers,
+		EmitWorkers: workers,
 	}
 }
 
@@ -77,6 +83,48 @@ func BenchmarkPushBatch(b *testing.B) {
 	for _, workers := range []int{1, 2, 4, 8} {
 		b.Run(fmt.Sprintf("workers%d", workers), func(b *testing.B) {
 			ex, err := core.New(ingestConfig(workers))
+			if err != nil {
+				b.Fatal(err)
+			}
+			batch := make([]Point, ingestSlide)
+			var pushed int64
+			fill := func() {
+				for j := range batch {
+					batch[j] = pointAt(pushed)
+					pushed++
+				}
+			}
+			for pushed < ingestWin {
+				fill()
+				if _, err := ex.PushBatch(batch, nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ResetTimer()
+			for n := 0; n < b.N; n++ {
+				fill()
+				if _, err := ex.PushBatch(batch, nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(b.N)*ingestSlide/b.Elapsed().Seconds(), "tuples/sec")
+		})
+	}
+}
+
+// BenchmarkEmit isolates the output stage's scaling: discovery runs with
+// one worker so each iteration's cost is dominated by the per-slide
+// window emission (prune + DFS + parallel cluster/summary construction),
+// swept over EmitWorkers.
+func BenchmarkEmit(b *testing.B) {
+	data := benchSTT(ingestWin + 60*ingestSlide)
+	pointAt := func(id int64) Point { return data.Points[id%int64(len(data.Points))] }
+	for _, emitWorkers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("emitWorkers%d", emitWorkers), func(b *testing.B) {
+			cfg := ingestConfig(1)
+			cfg.EmitWorkers = emitWorkers
+			ex, err := core.New(cfg)
 			if err != nil {
 				b.Fatal(err)
 			}

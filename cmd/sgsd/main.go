@@ -15,8 +15,9 @@
 //
 // With -batch N (N = the query's slide is a good choice), tuples are fed
 // through the engine's batched ingest path, whose neighbor-discovery phase
-// fans out across -workers goroutines; output is identical to unbatched
-// operation.
+// fans out across -workers goroutines; with -emit-workers M the output
+// stage's per-cluster summary construction fans out across M goroutines.
+// Output is identical to unbatched, sequential operation in every case.
 package main
 
 import (
@@ -70,6 +71,34 @@ func main() {
 	logPath := flag.String("log", "", "append summaries to this crash-safe log as windows complete")
 	workers := flag.Int("workers", 0, "parallel neighbor-discovery workers for batched ingest (0 = one per CPU, 1 = sequential)")
 	batch := flag.Int("batch", 0, "ingest batch size; 0 pushes tuple-by-tuple, otherwise tuples are fed through PushBatch in batches of this size (the query's slide is a good value)")
+	emitWorkers := flag.Int("emit-workers", 0, "parallel output-stage workers for per-cluster summary construction (0 = one per CPU, 1 = sequential); windows are byte-identical at every setting")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), `sgsd runs a continuous clustering query (the paper's Figure 2) over a
+stream and emits one JSON line per window with the clusters in both
+representations (full member list and Skeletal Grid Summarization).
+
+The stream comes from a built-in synthetic workload (-source stt or gmti)
+or a CSV file (-source csv with -csv, -cols, -tscol). With -archive FILE
+every emitted summary is archived and the pattern base is saved on exit
+(inspect it with sgstool). With -log FILE summaries are appended to a
+crash-safe log as windows complete.
+
+Performance knobs: -batch N feeds tuples through the batched ingest path
+(parallel neighbor discovery across -workers goroutines; N = the query's
+slide amortizes best), and -emit-workers M fans the output stage's
+per-cluster summary construction across M goroutines. Both default to one
+worker per CPU and never change the output: windows are byte-identical to
+sequential tuple-by-tuple operation.
+
+Example:
+
+  sgsd -query "DETECT DensityBasedClusters f+s FROM s USING theta_range = 0.1 AND theta_cnt = 8 IN WINDOWS WITH win = 10000 AND slide = 1000" \
+       -source stt -n 50000 -batch 1000 -workers 4 -emit-workers 4
+
+Flags:
+`)
+		flag.PrintDefaults()
+	}
 	flag.Parse()
 
 	if *queryStr == "" {
@@ -118,6 +147,7 @@ func main() {
 		opts.Archive = &streamsum.ArchiveOptions{}
 	}
 	opts.Workers = *workers
+	opts.EmitWorkers = *emitWorkers
 	eng, err := streamsum.New(opts)
 	if err != nil {
 		log.Fatal(err)
@@ -189,14 +219,17 @@ func main() {
 				return
 			}
 			results, err := eng.PushBatch(pts, tss)
+			// Windows completed before a mid-batch error are real output
+			// (every earlier tuple was fully applied); emit them before
+			// failing, exactly as the unbatched loop would have.
+			for _, w := range results {
+				emit(w)
+			}
 			if err != nil {
 				log.Fatal(err)
 			}
 			tuples += len(pts)
 			pts, tss = pts[:0], tss[:0]
-			for _, w := range results {
-				emit(w)
-			}
 		}
 		for {
 			t, ok := src.Next()

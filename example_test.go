@@ -66,6 +66,97 @@ func ExampleSummarizeStatic() {
 	// pop=200 cells=15 core=15
 }
 
+// ExampleOptions configures an engine explicitly: query parameters (the
+// DETECT clause of Figure 2) plus the execution-side knobs the query
+// language does not cover. Workers and EmitWorkers only change how much
+// hardware ingestion and the output stage use — never the output itself.
+func ExampleOptions() {
+	eng, err := streamsum.New(streamsum.Options{
+		Dim:    2,   // tuple dimensionality
+		ThetaR: 1.0, // neighbor range threshold θr
+		ThetaC: 4,   // neighbor count threshold θc
+		Win:    400, // window size, in tuples (TimeBased switches to ticks)
+		Slide:  400, // slide size
+
+		Workers:     4, // parallel neighbor discovery inside PushBatch
+		EmitWorkers: 4, // parallel per-cluster summary construction
+	})
+	if err != nil {
+		panic(err)
+	}
+	if _, err := eng.PushBatch(demoPoints(), nil); err != nil {
+		panic(err)
+	}
+	w, err := eng.Flush()
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("clusters:", len(w.Clusters))
+	// Output:
+	// clusters: 2
+}
+
+// ExampleEngine_PushBatch feeds a whole slide per call — the
+// high-throughput ingest path. Results are byte-identical to pushing the
+// tuples one at a time; batching only changes where neighbors are found
+// (a parallel fan-out over frozen state), never how state is updated.
+func ExampleEngine_PushBatch() {
+	eng, err := streamsum.New(streamsum.Options{
+		Dim: 2, ThetaR: 1.0, ThetaC: 4,
+		Win: 400, Slide: 200,
+	})
+	if err != nil {
+		panic(err)
+	}
+	pts := demoPoints()
+	for lo := 0; lo < len(pts); lo += 200 { // one slide per batch
+		ws, err := eng.PushBatch(pts[lo:lo+200], nil)
+		if err != nil {
+			panic(err)
+		}
+		for _, w := range ws {
+			fmt.Printf("window %d: %d clusters\n", w.Window, len(w.Clusters))
+		}
+	}
+	w, err := eng.Flush() // the final window is still filling; force it
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("window %d: %d clusters\n", w.Window, len(w.Clusters))
+	// Output:
+	// window 0: 2 clusters
+}
+
+// ExampleOptionsFromQuery parses a DETECT query in the paper's query
+// language (Figure 2) and fills in the execution-side knobs before
+// building the engine.
+func ExampleOptionsFromQuery() {
+	opts, err := streamsum.OptionsFromQuery(`
+		DETECT DensityBasedClusters f+s FROM s
+		USING theta_range = 1.0 AND theta_cnt = 4
+		IN WINDOWS WITH win = 400 AND slide = 400`, 2)
+	if err != nil {
+		panic(err)
+	}
+	opts.Workers = 4     // knobs the query language leaves to the runtime
+	opts.EmitWorkers = 4 //
+	eng, err := streamsum.New(opts)
+	if err != nil {
+		panic(err)
+	}
+	if _, err := eng.PushBatch(demoPoints(), nil); err != nil {
+		panic(err)
+	}
+	w, err := eng.Flush()
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("win=%d slide=%d summarized=%v clusters=%d\n",
+		opts.Win, opts.Slide, !opts.FullOnly, len(w.Clusters))
+	// Output:
+	// win=400 slide=400 summarized=true clusters=2
+}
+
 // ExampleEngine_MatchQuery archives extracted clusters and retrieves the
 // ones similar to a target using the paper's query language.
 func ExampleEngine_MatchQuery() {

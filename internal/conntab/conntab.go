@@ -1,0 +1,218 @@
+// Package conntab provides the cache-friendly hash tables behind the hot
+// per-cell meta-data of the extractors: an open-addressing, coord-keyed
+// table of connection lifespans (Table, replacing the former
+// map[grid.Coord]*connEntry on every skeletal grid cell) and an
+// open-addressing int64-keyed map (IDMap, replacing the per-view
+// union-find parent maps of the Extra-N baseline).
+//
+// Both tables store their entries inline in a single flat slot array —
+// no per-entry allocation, no pointer chasing — with plain linear
+// probing, a fixed (seed-free) hash, and power-of-two capacities. That
+// gives three properties the refresh/emit hot paths rely on:
+//
+//   - Locality: the refresh loop's dominant cost was Coord-keyed map
+//     probing; inline entries turn each probe into a few contiguous
+//     cache lines and each repeated access into a pointer compare
+//     (see the memo in core's refresh).
+//   - Tombstone-free pruning: Prune removes dead entries in place using
+//     backward-shift deletion, so tables never accumulate tombstones and
+//     probe chains re-tighten on every output stage.
+//   - Deterministic iteration: the hash is fixed, so the slot layout —
+//     and therefore Range/Prune order — is a pure function of the
+//     operation sequence, never of process-level randomization. Two runs
+//     (or two engines fed the same tuples) iterate identically, which
+//     keeps the emit stage's cluster extraction reproducible without
+//     re-sorting the connection lists.
+//
+// # Concurrency
+//
+// Tables are single-writer. All read methods (Get, Len, Range) perform no
+// mutation of any kind, so any number of goroutines may read one table
+// concurrently provided no Upsert/Prune overlaps. This is the contract the
+// parallel output stage is built on: connection tables are frozen before
+// the per-cluster fan-out and only read from inside it.
+package conntab
+
+import (
+	"streamsum/internal/grid"
+)
+
+// Entry is one connection record: the adjacent cell's coordinate and the
+// two lifespans the extractor maintains for the pair (see core's Lemma 5.2
+// connection lifespan and the directional attachment lifespan). The
+// zero Coord (dimension 0) marks an empty slot, so Entries must be keyed
+// by real cell coordinates (dimension >= 1).
+type Entry struct {
+	Coord     grid.Coord
+	CoreLast  int64
+	AttachOut int64
+}
+
+// Table is an open-addressing hash table keyed by grid.Coord with inline
+// Entry slots. The zero value is an empty table ready for use.
+type Table struct {
+	slots []Entry // power-of-two length; Coord.D == 0 marks a free slot
+	n     int
+}
+
+const minTableCap = 8
+
+// hashCoord is FNV-1a over the active components. Fixed seed: the layout
+// of a table is a deterministic function of its operation history.
+func hashCoord(c grid.Coord) uint64 {
+	h := uint64(14695981039346656037)
+	h ^= uint64(c.D)
+	h *= 1099511628211
+	for i := uint8(0); i < c.D; i++ {
+		v := uint32(c.C[i])
+		for s := uint(0); s < 32; s += 8 {
+			h ^= uint64((v >> s) & 0xff)
+			h *= 1099511628211
+		}
+	}
+	return h
+}
+
+// Len returns the number of stored entries.
+func (t *Table) Len() int { return t.n }
+
+// Get returns the entry for c, or nil if absent. The returned pointer is
+// valid until the next Upsert or Prune on the table.
+func (t *Table) Get(c grid.Coord) *Entry {
+	if t.n == 0 {
+		return nil
+	}
+	mask := uint64(len(t.slots) - 1)
+	for i := hashCoord(c) & mask; ; i = (i + 1) & mask {
+		s := &t.slots[i]
+		if s.Coord.D == 0 {
+			return nil
+		}
+		if s.Coord == c {
+			return s
+		}
+	}
+}
+
+// Upsert returns the entry for c, creating a zero-lifespan entry if absent;
+// created reports whether the entry was just created (the caller is
+// expected to initialize its lifespans then). The returned pointer is valid
+// until the next Upsert or Prune on the same table — a growth rehash or a
+// backward shift may relocate entries.
+func (t *Table) Upsert(c grid.Coord) (e *Entry, created bool) {
+	if c.D == 0 {
+		panic("conntab: zero-dimension Coord cannot be a key")
+	}
+	if len(t.slots) == 0 || (t.n+1)*4 > len(t.slots)*3 {
+		t.grow()
+	}
+	mask := uint64(len(t.slots) - 1)
+	for i := hashCoord(c) & mask; ; i = (i + 1) & mask {
+		s := &t.slots[i]
+		if s.Coord.D == 0 {
+			s.Coord = c
+			t.n++
+			return s, true
+		}
+		if s.Coord == c {
+			return s, false
+		}
+	}
+}
+
+func (t *Table) grow() {
+	newCap := minTableCap
+	if len(t.slots) > 0 {
+		newCap = len(t.slots) * 2
+	}
+	old := t.slots
+	t.slots = make([]Entry, newCap)
+	mask := uint64(newCap - 1)
+	for i := range old {
+		if old[i].Coord.D == 0 {
+			continue
+		}
+		for j := hashCoord(old[i].Coord) & mask; ; j = (j + 1) & mask {
+			if t.slots[j].Coord.D == 0 {
+				t.slots[j] = old[i]
+				break
+			}
+		}
+	}
+}
+
+// Range calls fn for every entry in slot order and stops early if fn
+// returns false. fn must not add or remove entries; mutating the lifespans
+// of the visited entry is fine.
+func (t *Table) Range(fn func(*Entry) bool) {
+	if t.n == 0 {
+		return
+	}
+	for i := range t.slots {
+		if t.slots[i].Coord.D != 0 {
+			if !fn(&t.slots[i]) {
+				return
+			}
+		}
+	}
+}
+
+// Prune visits every entry exactly once and removes those for which keep
+// returns false, compacting in place with backward-shift deletion — no
+// tombstones are left behind and surviving probe chains re-tighten.
+// Iteration starts just past an empty slot and proceeds cyclically, so
+// entries relocated by a shift are still visited exactly once. keep must
+// not add entries; it may mutate the lifespans of the entry it is given.
+// All entry pointers into the table are invalidated.
+func (t *Table) Prune(keep func(*Entry) bool) {
+	if t.n == 0 {
+		return
+	}
+	cap_ := len(t.slots)
+	mask := uint64(cap_ - 1)
+	// Load factor is bounded below 1, so an empty slot always exists.
+	start := 0
+	for t.slots[start].Coord.D != 0 {
+		start++
+	}
+	for k := 1; k <= cap_; k++ {
+		i := uint64(start+k) & mask
+	reexamine:
+		s := &t.slots[i]
+		if s.Coord.D == 0 {
+			continue
+		}
+		if keep(s) {
+			continue
+		}
+		t.deleteAt(i, mask)
+		// deleteAt may have shifted a not-yet-visited entry into slot i;
+		// re-examine it before moving on. Shifts never move entries across
+		// an empty slot, so nothing crosses the start sentinel.
+		goto reexamine
+	}
+}
+
+// deleteAt frees slot i and backward-shifts the following probe chain so
+// no tombstone is needed.
+func (t *Table) deleteAt(i, mask uint64) {
+	t.n--
+	for {
+		t.slots[i] = Entry{}
+		j := i
+		for {
+			j = (j + 1) & mask
+			if t.slots[j].Coord.D == 0 {
+				return
+			}
+			home := hashCoord(t.slots[j].Coord) & mask
+			// Entry at j may move to the freed slot i iff its home does not
+			// lie in the cyclic interval (i, j].
+			if (j-home)&mask >= (j-i)&mask {
+				t.slots[i] = t.slots[j]
+				i = j
+				break
+			}
+		}
+	}
+}

@@ -1,0 +1,221 @@
+package conntab
+
+import (
+	"math/rand"
+	"testing"
+
+	"streamsum/internal/grid"
+)
+
+func coordFor(r *rand.Rand, span int32) grid.Coord {
+	return grid.CoordOf(r.Int31n(span)-span/2, r.Int31n(span)-span/2, r.Int31n(span)-span/2)
+}
+
+// TestTableAgainstMap drives a Table and a reference map through the same
+// random operation sequence (upserts with lifespan mutations, periodic
+// prunes) and checks full agreement after every phase.
+func TestTableAgainstMap(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	var tab Table
+	ref := map[grid.Coord][2]int64{}
+
+	check := func(step int) {
+		t.Helper()
+		if tab.Len() != len(ref) {
+			t.Fatalf("step %d: Len=%d want %d", step, tab.Len(), len(ref))
+		}
+		seen := 0
+		tab.Range(func(e *Entry) bool {
+			seen++
+			v, ok := ref[e.Coord]
+			if !ok {
+				t.Fatalf("step %d: Range visited unknown coord %v", step, e.Coord)
+			}
+			if v[0] != e.CoreLast || v[1] != e.AttachOut {
+				t.Fatalf("step %d: %v has (%d,%d) want (%d,%d)",
+					step, e.Coord, e.CoreLast, e.AttachOut, v[0], v[1])
+			}
+			return true
+		})
+		if seen != len(ref) {
+			t.Fatalf("step %d: Range visited %d entries, want %d", step, seen, len(ref))
+		}
+		for c, v := range ref {
+			e := tab.Get(c)
+			if e == nil {
+				t.Fatalf("step %d: Get(%v) = nil", step, c)
+			}
+			if e.CoreLast != v[0] || e.AttachOut != v[1] {
+				t.Fatalf("step %d: Get(%v) = (%d,%d) want (%d,%d)",
+					step, c, e.CoreLast, e.AttachOut, v[0], v[1])
+			}
+		}
+	}
+
+	for step := 0; step < 200; step++ {
+		// A burst of upserts.
+		for i := 0; i < 40; i++ {
+			c := coordFor(r, 12)
+			cl, at := r.Int63n(100), r.Int63n(100)
+			e, created := tab.Upsert(c)
+			if _, ok := ref[c]; ok == created {
+				t.Fatalf("step %d: created=%v but ref presence=%v for %v", step, created, ok, c)
+			}
+			if created {
+				e.CoreLast, e.AttachOut = cl, at
+			} else {
+				if cl > e.CoreLast {
+					e.CoreLast = cl
+				}
+				if at > e.AttachOut {
+					e.AttachOut = at
+				}
+				cl, at = e.CoreLast, e.AttachOut
+			}
+			ref[c] = [2]int64{cl, at}
+		}
+		check(step)
+		// Prune everything below a moving threshold.
+		thr := r.Int63n(110)
+		tab.Prune(func(e *Entry) bool {
+			return e.CoreLast >= thr || e.AttachOut >= thr
+		})
+		for c, v := range ref {
+			if v[0] < thr && v[1] < thr {
+				delete(ref, c)
+			}
+		}
+		check(step)
+	}
+	// Drain completely.
+	tab.Prune(func(*Entry) bool { return false })
+	if tab.Len() != 0 {
+		t.Fatalf("drained table has Len=%d", tab.Len())
+	}
+	tab.Range(func(*Entry) bool {
+		t.Fatal("Range visited an entry in a drained table")
+		return false
+	})
+}
+
+// TestTableZeroValue checks the zero value is usable and Get on an empty
+// table is safe.
+func TestTableZeroValue(t *testing.T) {
+	var tab Table
+	if e := tab.Get(grid.CoordOf(1, 2)); e != nil {
+		t.Fatalf("Get on empty table = %v", e)
+	}
+	tab.Prune(func(*Entry) bool { return true }) // no-op, must not panic
+	e, created := tab.Upsert(grid.CoordOf(1, 2))
+	if !created || e.Coord != grid.CoordOf(1, 2) {
+		t.Fatalf("first Upsert: created=%v coord=%v", created, e.Coord)
+	}
+}
+
+// TestTableDeterministicLayout: two tables fed the same operation sequence
+// iterate identically — the property the emit stage's reproducibility
+// rests on.
+func TestTableDeterministicLayout(t *testing.T) {
+	build := func() *Table {
+		var tab Table
+		r := rand.New(rand.NewSource(7))
+		for i := 0; i < 500; i++ {
+			c := coordFor(r, 20)
+			e, created := tab.Upsert(c)
+			if created {
+				e.CoreLast = int64(i)
+			}
+			if i%97 == 0 {
+				cut := int64(i / 2)
+				tab.Prune(func(e *Entry) bool { return e.CoreLast >= cut })
+			}
+		}
+		return &tab
+	}
+	a, b := build(), build()
+	var orderA, orderB []grid.Coord
+	a.Range(func(e *Entry) bool { orderA = append(orderA, e.Coord); return true })
+	b.Range(func(e *Entry) bool { orderB = append(orderB, e.Coord); return true })
+	if len(orderA) != len(orderB) {
+		t.Fatalf("lengths differ: %d vs %d", len(orderA), len(orderB))
+	}
+	for i := range orderA {
+		if orderA[i] != orderB[i] {
+			t.Fatalf("iteration order diverges at %d: %v vs %v", i, orderA[i], orderB[i])
+		}
+	}
+}
+
+// TestTablePruneVisitsOnce: every entry is visited exactly once per Prune,
+// even when backward shifts relocate entries mid-iteration.
+func TestTablePruneVisitsOnce(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 50; trial++ {
+		var tab Table
+		want := map[grid.Coord]bool{}
+		for i := 0; i < 30+trial; i++ {
+			c := coordFor(r, 10)
+			tab.Upsert(c)
+			want[c] = true
+		}
+		visited := map[grid.Coord]int{}
+		tab.Prune(func(e *Entry) bool {
+			visited[e.Coord]++
+			return r.Intn(2) == 0
+		})
+		if len(visited) != len(want) {
+			t.Fatalf("trial %d: visited %d distinct entries, want %d", trial, len(visited), len(want))
+		}
+		for c, n := range visited {
+			if n != 1 {
+				t.Fatalf("trial %d: %v visited %d times", trial, c, n)
+			}
+		}
+	}
+}
+
+// TestIDMapAgainstMap drives IDMap and a reference map through the same
+// operations.
+func TestIDMapAgainstMap(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	var m IDMap
+	ref := map[int64]int64{}
+	for i := 0; i < 5000; i++ {
+		k := r.Int63n(800)
+		v := r.Int63()
+		m.Set(k, v)
+		ref[k] = v
+		if kq := r.Int63n(800); true {
+			got, ok := m.Get(kq)
+			want, wok := ref[kq]
+			if ok != wok || (ok && got != want) {
+				t.Fatalf("Get(%d) = (%d,%v) want (%d,%v)", kq, got, ok, want, wok)
+			}
+		}
+	}
+	if m.Len() != len(ref) {
+		t.Fatalf("Len=%d want %d", m.Len(), len(ref))
+	}
+	seen := 0
+	m.Range(func(k, v int64) bool {
+		seen++
+		if ref[k] != v {
+			t.Fatalf("Range: key %d has %d want %d", k, v, ref[k])
+		}
+		return true
+	})
+	if seen != len(ref) {
+		t.Fatalf("Range visited %d, want %d", seen, len(ref))
+	}
+}
+
+func TestIDMapZeroKey(t *testing.T) {
+	var m IDMap
+	if _, ok := m.Get(0); ok {
+		t.Fatal("empty map reports key 0")
+	}
+	m.Set(0, 42)
+	if v, ok := m.Get(0); !ok || v != 42 {
+		t.Fatalf("Get(0) = (%d,%v), want (42,true)", v, ok)
+	}
+}

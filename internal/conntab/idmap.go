@@ -1,0 +1,117 @@
+package conntab
+
+// IDMap is an open-addressing int64 -> int64 map for non-negative keys,
+// used for the per-view union-find parent tables of the Extra-N baseline
+// (tuple ids are non-negative by construction). Like Table it stores
+// key/value pairs inline, hashes with a fixed multiplier, and is therefore
+// deterministic in layout and iteration for a given operation sequence.
+// The zero value is an empty map ready for use.
+//
+// IDMap is single-writer; Get and Len are pure reads and may run
+// concurrently from any number of goroutines provided no Set overlaps —
+// the contract behind the read-only root lookups of the parallel output
+// stage.
+type IDMap struct {
+	keys []int64 // power-of-two length; -1 marks a free slot
+	vals []int64
+	n    int
+}
+
+// hashID is Fibonacci hashing; fixed multiplier, deterministic layout.
+func hashID(k int64) uint64 {
+	return uint64(k) * 0x9E3779B97F4A7C15
+}
+
+// Len returns the number of stored keys.
+func (m *IDMap) Len() int { return m.n }
+
+// Get returns the value stored under k and whether it is present.
+func (m *IDMap) Get(k int64) (int64, bool) {
+	if m.n == 0 {
+		return 0, false
+	}
+	shift := uint(64 - tblBits(len(m.keys)))
+	mask := uint64(len(m.keys) - 1)
+	for i := hashID(k) >> shift; ; i = (i + 1) & mask {
+		if m.keys[i] == -1 {
+			return 0, false
+		}
+		if m.keys[i] == k {
+			return m.vals[i], true
+		}
+	}
+}
+
+// Set stores v under k (k must be non-negative), replacing any previous
+// value.
+func (m *IDMap) Set(k, v int64) {
+	if k < 0 {
+		panic("conntab: IDMap keys must be non-negative")
+	}
+	if len(m.keys) == 0 || (m.n+1)*4 > len(m.keys)*3 {
+		m.growID()
+	}
+	shift := uint(64 - tblBits(len(m.keys)))
+	mask := uint64(len(m.keys) - 1)
+	for i := hashID(k) >> shift; ; i = (i + 1) & mask {
+		if m.keys[i] == -1 {
+			m.keys[i] = k
+			m.vals[i] = v
+			m.n++
+			return
+		}
+		if m.keys[i] == k {
+			m.vals[i] = v
+			return
+		}
+	}
+}
+
+// Range calls fn for every key/value pair in slot order and stops early if
+// fn returns false. fn must not modify the map.
+func (m *IDMap) Range(fn func(k, v int64) bool) {
+	for i := range m.keys {
+		if m.keys[i] != -1 {
+			if !fn(m.keys[i], m.vals[i]) {
+				return
+			}
+		}
+	}
+}
+
+func (m *IDMap) growID() {
+	newCap := minTableCap
+	if len(m.keys) > 0 {
+		newCap = len(m.keys) * 2
+	}
+	oldK, oldV := m.keys, m.vals
+	m.keys = make([]int64, newCap)
+	m.vals = make([]int64, newCap)
+	for i := range m.keys {
+		m.keys[i] = -1
+	}
+	shift := uint(64 - tblBits(newCap))
+	mask := uint64(newCap - 1)
+	for i := range oldK {
+		if oldK[i] == -1 {
+			continue
+		}
+		for j := hashID(oldK[i]) >> shift; ; j = (j + 1) & mask {
+			if m.keys[j] == -1 {
+				m.keys[j] = oldK[i]
+				m.vals[j] = oldV[i]
+				break
+			}
+		}
+	}
+}
+
+// tblBits returns log2 of the (power-of-two) capacity.
+func tblBits(c int) uint {
+	b := uint(0)
+	for c > 1 {
+		c >>= 1
+		b++
+	}
+	return b
+}

@@ -1,37 +1,9 @@
-// Package core implements C-SGS (§5), the paper's primary contribution: an
-// integrated algorithm that extracts density-based clusters over periodic
-// sliding windows and simultaneously maintains their Skeletal Grid
-// Summarizations, returning each window's clusters in both full and
-// summarized representation.
-//
-// The design follows the paper closely:
-//
-//   - The only persistent meta-data besides the raw window content is the
-//     set of skeletal grid cells (§5.2): per cell a core-status lifespan
-//     and per adjacent-cell connection lifespans.
-//   - All expiry-driven changes are pre-computed at insertion using
-//     lifespan analysis (§5.3): when an object arrives, its own "career"
-//     (core / edge / noise phases, Observation 5.4) and its effect on its
-//     neighbors' careers are projected onto future windows, so the
-//     expiration stage needs no per-object work at all ("Handling
-//     Expirations", §5.4).
-//   - Each arriving object triggers exactly one range query search; career
-//     prolongs discovered later reuse recorded neighbor references instead
-//     of re-running range queries (the paper's auxiliary meta-data, §5.3).
-//   - The output stage (§5.4) runs a DFS over the currently-core cells and
-//     their live connections, yielding one connected cell group — one SGS —
-//     per cluster, from which the full representation is collected.
-//
-// Where the paper's technical report (unavailable) left the connection
-// prolong-propagation unspecified, we keep per-object neighbor references
-// (ids only, pruned lazily at the same points the paper prunes its
-// bucketed neighbor lists) so that every career growth refreshes the
-// affected cell connections; DESIGN.md discusses this substitution.
 package core
 
 import (
 	"fmt"
 
+	"streamsum/internal/conntab"
 	"streamsum/internal/geom"
 	"streamsum/internal/grid"
 	"streamsum/internal/sgs"
@@ -58,6 +30,13 @@ type Config struct {
 	// the fully sequential batch path. It has no effect on single-tuple
 	// Push, whose one range query search has nothing to fan out.
 	Workers int
+	// EmitWorkers bounds the fan-out of the output stage's parallel phases
+	// (connection pruning, edge-attachment resolution, per-cluster summary
+	// construction). <= 0 means one worker per available CPU; 1 forces the
+	// fully sequential output stage. Results are byte-identical at every
+	// setting — the fan-out only runs over frozen state and writes to
+	// pre-assigned slots.
+	EmitWorkers int
 }
 
 // Validate checks the configuration.
@@ -108,30 +87,29 @@ type object struct {
 	nbrs     []*object // neighbor refs; pruned lazily (see compactNbrs)
 }
 
-// connEntry is the connection meta-data one cell keeps about one adjacent
-// cell. coreLast is symmetric (mirrored on both cells); attachOut is
-// directional: the last window in which *this* cell is core and the other
-// cell has an object attached to one of this cell's cores.
-type connEntry struct {
-	coreLast  int64
-	attachOut int64
-}
-
 // cell is a skeletal grid cell with its live objects and lifespans
 // (population is len(objs); location is coord; side length is the
 // geometry's). nbrCells caches the occupied cells within neighbor offsets
 // so the per-object range query search visits only occupied cells; the
 // links are maintained on cell creation and deletion.
+//
+// conns is the cell's connection table: per adjacent cell one inline
+// conntab.Entry whose CoreLast is the symmetric core-core connection
+// lifespan (mirrored on both cells) and whose AttachOut is directional —
+// the last window in which *this* cell is core and the other cell has an
+// object attached to one of this cell's cores. The open-addressing layout
+// keeps refresh's dominant probe traffic on contiguous memory instead of
+// a pointer-per-entry map.
 type cell struct {
 	coord    grid.Coord
 	objs     []*object
 	coreLast int64 // last window this cell is a core cell (Lemma 5.1)
-	conns    map[grid.Coord]*connEntry
+	conns    conntab.Table
 	nbrCells []*cell
 	// live caches the connections still alive in the window being
 	// emitted; it is rebuilt by pruneConns at the start of every output
 	// stage so the DFS and cluster assembly iterate a compact slice
-	// instead of the conns map (twice).
+	// instead of the conns table (twice).
 	live []liveConn
 }
 
@@ -142,11 +120,13 @@ type liveConn struct {
 	attachOut bool // this-cell-core attachment live
 }
 
-func (c *cell) conn(other grid.Coord) *connEntry {
-	e := c.conns[other]
-	if e == nil {
-		e = &connEntry{coreLast: window.Never, attachOut: window.Never}
-		c.conns[other] = e
+// conn returns the connection entry toward other, creating it with dead
+// lifespans on first use. The pointer is valid until the next Upsert or
+// Prune on this cell's table (see conntab's pointer-validity contract).
+func (c *cell) conn(other grid.Coord) *conntab.Entry {
+	e, created := c.conns.Upsert(other)
+	if created {
+		e.CoreLast, e.AttachOut = window.Never, window.Never
 	}
 	return e
 }
@@ -200,7 +180,7 @@ func (e *Extractor) CurrentWindow() int64 { return e.cur }
 func (e *Extractor) Stats() Stats {
 	s := Stats{Cells: len(e.cells), Objects: e.objCount}
 	for _, c := range e.cells {
-		s.Connections += len(c.conns)
+		s.Connections += c.conns.Len()
 	}
 	return s
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"streamsum/internal/conntab"
 	"streamsum/internal/geom"
 	"streamsum/internal/grid"
 	"streamsum/internal/window"
@@ -86,11 +87,7 @@ func (e *Extractor) applyInsert(id int64, p geom.Point, pos int64, coord grid.Co
 
 	c := e.cells[coord]
 	if c == nil {
-		c = &cell{
-			coord:    coord,
-			coreLast: window.Never,
-			conns:    make(map[grid.Coord]*connEntry),
-		}
+		c = &cell{coord: coord, coreLast: window.Never}
 		e.cells[coord] = c
 		for _, off := range e.geo.NeighborOffsets() {
 			if off.IsZero() {
@@ -158,11 +155,15 @@ func (e *Extractor) refresh(a *object) {
 	live := 0
 	// Neighbor lists are built cell by cell, so consecutive entries
 	// usually share a cell; memoizing the last neighbor cell's connection
-	// entries turns the dominant Coord-keyed map lookups into pointer
+	// entries turns the dominant Coord-keyed table probes into pointer
 	// compares. Entries are still created exactly when a live lifespan
-	// needs one, as before.
+	// needs one, as before. The memoized pointers stay valid because a
+	// table Upsert happens at most once per (cell pair, memo lifetime):
+	// conntab entry pointers are only invalidated by a *later* Upsert on
+	// the same table, and the memo is re-fetched whenever the neighbor
+	// cell changes.
 	var memoCell *cell
-	var memoEA, memoEB *connEntry
+	var memoEA, memoEB *conntab.Entry
 	for _, b := range a.nbrs {
 		if b.last < e.cur { // expired neighbor: prune lazily
 			continue
@@ -181,14 +182,14 @@ func (e *Extractor) refresh(a *object) {
 			if memoEA == nil {
 				memoEA = ca.conn(cb.coord)
 			}
-			if v > memoEA.coreLast {
-				memoEA.coreLast = v
+			if v > memoEA.CoreLast {
+				memoEA.CoreLast = v
 			}
 			if memoEB == nil {
 				memoEB = cb.conn(ca.coord)
 			}
-			if v > memoEB.coreLast {
-				memoEB.coreLast = v
+			if v > memoEB.CoreLast {
+				memoEB.CoreLast = v
 			}
 		}
 		// a-core side attachment: b stays attached to cell(a) while b is
@@ -197,8 +198,8 @@ func (e *Extractor) refresh(a *object) {
 			if memoEA == nil {
 				memoEA = ca.conn(cb.coord)
 			}
-			if v > memoEA.attachOut {
-				memoEA.attachOut = v
+			if v > memoEA.AttachOut {
+				memoEA.AttachOut = v
 			}
 		}
 		// b-core side attachment.
@@ -206,8 +207,8 @@ func (e *Extractor) refresh(a *object) {
 			if memoEB == nil {
 				memoEB = cb.conn(ca.coord)
 			}
-			if v > memoEB.attachOut {
-				memoEB.attachOut = v
+			if v > memoEB.AttachOut {
+				memoEB.AttachOut = v
 			}
 		}
 	}

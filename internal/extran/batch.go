@@ -24,12 +24,6 @@ import (
 // batch-capable keeps the paper's §8.1 comparison meaningful at batched
 // ingestion rates too.
 
-type batchEntry struct {
-	id  int64
-	p   geom.Point
-	pos int64
-}
-
 // segCell mirrors core's per-segment cell grouping: per-cell scan and
 // candidate sets computed once and shared by the cell's tuples.
 type segCell struct {
@@ -40,60 +34,28 @@ type segCell struct {
 }
 
 // PushBatch feeds a batch of tuples with semantics identical to calling
-// Push for each tuple in order; see core.(*Extractor).PushBatch for the
-// exact contract (tss, error behavior, emission interleaving).
+// Push for each tuple in order; the segment-cutting contract (tss, error
+// behavior, emission interleaving) is core.DriveBatch, shared verbatim
+// with the C-SGS extractor so the two batch paths cannot drift.
 func (e *Extractor) PushBatch(pts []geom.Point, tss []int64) ([]*core.WindowResult, error) {
 	if tss != nil && len(tss) != len(pts) {
 		return nil, errTSLen(len(tss), len(pts))
 	}
-	var out []*core.WindowResult
-	seg := make([]batchEntry, 0, len(pts))
-	flush := func() {
-		if len(seg) > 0 {
-			e.insertSegment(seg)
-			seg = seg[:0]
-		}
-	}
-	for i, p := range pts {
-		if len(p) != e.cfg.Dim {
-			flush()
-			return out, errDim(len(p), e.cfg.Dim)
-		}
-		id := e.nextID
-		e.nextID++
-		pos := id
-		if e.cfg.Window.Kind == window.TimeBased {
-			pos = 0 // nil tss reads as all-zero timestamps, like Push(p, 0)
-			if tss != nil {
-				pos = tss[i]
-			}
-		}
-		if pos < e.lastPos {
-			flush()
-			return out, errOrder(pos, e.lastPos)
-		}
-		e.lastPos = pos
-		if pos >= e.cfg.Window.End(e.cur) {
-			flush()
-			for pos >= e.cfg.Window.End(e.cur) {
-				out = append(out, e.emit())
-			}
-		}
-		if e.cfg.Window.LastWindow(pos) < e.cur {
-			continue
-		}
-		seg = append(seg, batchEntry{id: id, p: p, pos: pos})
-	}
-	flush()
-	return out, nil
+	return core.DriveBatch(core.BatchDriver{
+		Dim: e.cfg.Dim, Window: e.cfg.Window,
+		NextID: &e.nextID, LastPos: &e.lastPos, Cur: &e.cur,
+		Emit: e.emit, Insert: e.insertSegment,
+		ErrDim:   func(got, want int) error { return errDim(got, want) },
+		ErrOrder: func(pos, last int64) error { return errOrder(pos, last) },
+	}, pts, tss)
 }
 
-func (e *Extractor) insertSegment(seg []batchEntry) {
+func (e *Extractor) insertSegment(seg []core.BatchEntry) {
 	n := len(seg)
 	workers := par.DefaultWorkers(e.cfg.Workers)
 	if n < 2 || workers == 1 {
 		for _, t := range seg {
-			e.insert(t.id, t.p, t.pos)
+			e.insert(t.ID, t.P, t.Pos)
 		}
 		return
 	}
@@ -106,22 +68,24 @@ func (e *Extractor) insertSegment(seg []batchEntry) {
 	existing := make([][]*object, n)
 	tupCell := make([]int32, n)
 	var cells []segCell
+	var coords []grid.Coord
 	cellIdx := make(map[grid.Coord]int32, n)
 	for k, t := range seg {
 		objs[k] = &object{
-			id:       t.id,
-			p:        t.p,
-			last:     e.cfg.Window.LastWindow(t.pos),
+			id:       t.ID,
+			p:        t.P,
+			last:     e.cfg.Window.LastWindow(t.Pos),
 			coreLast: window.Never,
 			tracker:  window.NewCoreTracker(e.cfg.ThetaC),
 		}
-		entries[k] = grid.Entry{ID: t.id, P: t.p}
-		coord := e.geo.CoordOf(t.p)
+		entries[k] = grid.Entry{ID: t.ID, P: t.P}
+		coord := e.geo.CoordOf(t.P)
 		ci, ok := cellIdx[coord]
 		if !ok {
 			ci = int32(len(cells))
 			cellIdx[coord] = ci
 			cells = append(cells, segCell{coord: coord})
+			coords = append(coords, coord)
 		}
 		cells[ci].idxs = append(cells[ci].idxs, int32(k))
 		tupCell[k] = ci
@@ -134,10 +98,8 @@ func (e *Extractor) insertSegment(seg []batchEntry) {
 			sc.scan = append(sc.scan, ents)
 			return true
 		})
-		for j := range cells {
-			if e.geo.CanNeighbor(sc.coord, cells[j].coord) {
-				sc.cands = append(sc.cands, cells[j].idxs...)
-			}
+		for _, j := range e.geo.NeighborIndices(coords, cellIdx, i) {
+			sc.cands = append(sc.cands, cells[j].idxs...)
 		}
 	})
 
@@ -146,7 +108,7 @@ func (e *Extractor) insertSegment(seg []batchEntry) {
 	r2 := e.cfg.ThetaR * e.cfg.ThetaR
 	par.For(workers, n, func(k int) {
 		o := objs[k]
-		p := seg[k].p
+		p := seg[k].P
 		sc := &cells[tupCell[k]]
 		var ex []*object
 		for _, ents := range sc.scan {
@@ -159,7 +121,7 @@ func (e *Extractor) insertSegment(seg []batchEntry) {
 		existing[k] = ex
 		var local []int32
 		for _, m := range sc.cands {
-			if int(m) != k && geom.DistSq(p, seg[m].p) <= r2 {
+			if int(m) != k && geom.DistSq(p, seg[m].P) <= r2 {
 				local = append(local, m)
 			}
 		}

@@ -1,0 +1,49 @@
+// Package extran implements the Extra-N baseline (Yang, Rundensteiner,
+// Ward: "Neighbor-based pattern detection for windows over streaming
+// data", EDBT 2009) as characterized in §8.1 of the SGS paper: the
+// state-of-the-art incremental algorithm that extracts density-based
+// clusters over sliding windows in *full representation only*.
+//
+// Extra-N's defining trait — and the reason the paper contrasts it with
+// C-SGS — is that it maintains predicted cluster-membership structures for
+// every open "view" (future window). With win/slide = V views, each
+// arriving object updates up to V per-view structures, so both CPU and
+// memory grow with the win/slide ratio, whereas C-SGS's skeletal-grid
+// meta-data is independent of it (§8.1: "the performance of Extra-N is
+// affected by the increasing number of views ... while the meta-data
+// maintained by C-SGS ... is independent from this ratio").
+//
+// Like C-SGS, Extra-N runs exactly one range query search per arriving
+// object and pre-computes all expiry effects through lifespan analysis;
+// the per-view structures here are union-find forests over the objects
+// predicted to be core in that view, with parent tables held in
+// open-addressing conntab.IDMaps — the per-view map traffic is the
+// baseline's dominant cost, so its layout matters the same way the
+// connection tables matter to C-SGS.
+//
+// Cluster-membership semantics are pure Definition 3.1 (object-level edge
+// attachment); see internal/dbscan for the one corner case where the
+// cell-granular C-SGS output differs.
+//
+// # Concurrency
+//
+// An Extractor is single-writer: Push, PushBatch, Flush and Stats must not
+// be called concurrently. The same internal fan-out contracts as
+// internal/core apply:
+//
+//   - Ingest (batch.go): per-segment range query searches and new-object
+//     career constructions fan out read-only over the frozen PointIndex
+//     (see grid.PointIndex's concurrency contract) across Config.Workers
+//     goroutines; all mutation — object table, index, trackers, per-view
+//     union-find forests — replays sequentially in arrival order, with
+//     one deferred unionViews pass per touched object.
+//   - Output (extran.go emit): grouping runs sequentially because find
+//     compresses paths, but once every live core has been through find,
+//     root lookups are pure reads; edge-attachment resolution then fans
+//     out across objects and member sorting across clusters, bounded by
+//     Config.EmitWorkers.
+//
+// Both fan-outs are deterministic: emitted windows are byte-identical to
+// the fully sequential paths at every worker setting, asserted under
+// -race by the package tests.
+package extran

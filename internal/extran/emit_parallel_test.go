@@ -1,0 +1,53 @@
+package extran
+
+import (
+	"encoding/json"
+	"testing"
+
+	"streamsum/internal/core"
+	"streamsum/internal/geom"
+	"streamsum/internal/window"
+)
+
+func runWorkers(t *testing.T, cfg Config, pts []geom.Point) []byte {
+	t.Helper()
+	ex, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []*core.WindowResult
+	for _, p := range pts {
+		_, emitted, err := ex.Push(p, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, emitted...)
+	}
+	out = append(out, ex.Flush())
+	b, err := json.Marshal(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// TestEmitParallelMatchesSequential: the Extra-N output stage must emit
+// byte-identical WindowResult sequences at every EmitWorkers setting —
+// the read-only root-lookup fan-out and per-cluster sorts may not change
+// the canonical cluster sequence. Race-clean under -race.
+func TestEmitParallelMatchesSequential(t *testing.T) {
+	pts := batchStream(5000, 2, 31)
+	base := Config{
+		Dim: 2, ThetaR: 0.6, ThetaC: 4,
+		Window:      window.Spec{Win: 1200, Slide: 400},
+		EmitWorkers: 1,
+	}
+	want := runWorkers(t, base, pts)
+	for _, ew := range []int{1, 2, 8} {
+		cfg := base
+		cfg.EmitWorkers = ew
+		if got := runWorkers(t, cfg, pts); string(got) != string(want) {
+			t.Errorf("emitWorkers=%d: Extra-N output differs from sequential emit", ew)
+		}
+	}
+}

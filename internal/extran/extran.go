@@ -1,35 +1,14 @@
-// Package extran implements the Extra-N baseline (Yang, Rundensteiner,
-// Ward: "Neighbor-based pattern detection for windows over streaming
-// data", EDBT 2009) as characterized in §8.1 of the SGS paper: the
-// state-of-the-art incremental algorithm that extracts density-based
-// clusters over sliding windows in *full representation only*.
-//
-// Extra-N's defining trait — and the reason the paper contrasts it with
-// C-SGS — is that it maintains predicted cluster-membership structures for
-// every open "view" (future window). With win/slide = V views, each
-// arriving object updates up to V per-view structures, so both CPU and
-// memory grow with the win/slide ratio, whereas C-SGS's skeletal-grid
-// meta-data is independent of it (§8.1: "the performance of Extra-N is
-// affected by the increasing number of views ... while the meta-data
-// maintained by C-SGS ... is independent from this ratio").
-//
-// Like C-SGS, Extra-N runs exactly one range query search per arriving
-// object and pre-computes all expiry effects through lifespan analysis; the
-// per-view structures here are union-find forests over the objects
-// predicted to be core in that view.
-//
-// Cluster-membership semantics are pure Definition 3.1 (object-level edge
-// attachment); see internal/dbscan for the one corner case where the
-// cell-granular C-SGS output differs.
 package extran
 
 import (
 	"fmt"
 	"sort"
 
+	"streamsum/internal/conntab"
 	"streamsum/internal/core"
 	"streamsum/internal/geom"
 	"streamsum/internal/grid"
+	"streamsum/internal/par"
 	"streamsum/internal/window"
 )
 
@@ -49,27 +28,53 @@ type object struct {
 }
 
 // view is the predicted cluster structure of one future window: a
-// union-find forest over the objects predicted to be core in it.
+// union-find forest over the objects predicted to be core in it. The
+// parent table is an open-addressed inline map (conntab.IDMap) — the
+// per-view map traffic is Extra-N's distinguishing cost, so its layout is
+// the baseline's cache-friendliness lever, mirroring what conntab.Table
+// does for C-SGS's connection tables.
 type view struct {
-	parent map[int64]int64
+	parent conntab.IDMap
 }
 
-func newView() *view { return &view{parent: make(map[int64]int64)} }
+func newView() *view { return &view{} }
 
+// find returns x's component root, compressing the path it walked.
 func (v *view) find(x int64) int64 {
-	p, ok := v.parent[x]
-	if !ok || p == x {
-		return x
+	r := x
+	for {
+		p, ok := v.parent.Get(r)
+		if !ok || p == r {
+			break
+		}
+		r = p
 	}
-	r := v.find(p)
-	v.parent[x] = r
+	for x != r {
+		p, _ := v.parent.Get(x)
+		v.parent.Set(x, r)
+		x = p
+	}
 	return r
+}
+
+// root returns x's component root without mutating the forest. After every
+// member of the component has been through find (as the output stage's
+// grouping pass guarantees for live cores), root is a single probe; it is
+// the read-only lookup the parallel edge-attachment phase fans out with.
+func (v *view) root(x int64) int64 {
+	for {
+		p, ok := v.parent.Get(x)
+		if !ok || p == x {
+			return x
+		}
+		x = p
+	}
 }
 
 func (v *view) union(a, b int64) {
 	ra, rb := v.find(a), v.find(b)
 	if ra != rb {
-		v.parent[ra] = rb
+		v.parent.Set(ra, rb)
 	}
 }
 
@@ -121,7 +126,7 @@ func (e *Extractor) Stats() (objects, views, viewEntries int) {
 	objects = len(e.objs)
 	views = len(e.views)
 	for _, v := range e.views {
-		viewEntries += len(v.parent)
+		viewEntries += v.parent.Len()
 	}
 	return
 }
@@ -250,16 +255,32 @@ func (e *Extractor) view(n int64) *view {
 }
 
 // emit outputs the clusters of the current window in full representation.
+//
+// Like core's output stage it is split into a cheap sequential grouping
+// phase and parallel per-object / per-cluster phases (bounded by
+// Config.EmitWorkers): grouping must run sequentially because find
+// compresses paths, but once every live core has been through find, root
+// lookups are pure reads and the edge-attachment scan fans out across
+// objects (each object's neighbor-list compaction is owned by exactly one
+// work item); member sorting then fans out across clusters. Output is
+// byte-identical at every worker count.
 func (e *Extractor) emit() *core.WindowResult {
 	n := e.cur
 	res := &core.WindowResult{Window: n}
 	v := e.view(n)
+	workers := par.DefaultWorkers(e.cfg.EmitWorkers)
 
-	// Group live core objects by their view-n component.
+	// Phase 1 (sequential): group live core objects by their view-n
+	// component; collect the non-core objects for the parallel attachment
+	// scan.
 	groups := make(map[int64][]*object)
 	var roots []int64
+	var nonCore []*object
 	for _, o := range e.objs {
 		if o.coreLast < n {
+			if len(o.nbrs) > 0 {
+				nonCore = append(nonCore, o)
+			}
 			continue
 		}
 		r := v.find(o.id)
@@ -285,23 +306,37 @@ func (e *Extractor) emit() *core.WindowResult {
 	for i, r := range roots {
 		rootIdx[r] = i
 	}
-	for _, r := range roots {
-		g := groups[r]
-		cl := &core.Cluster{ID: e.nextCID}
-		e.nextCID++
+
+	// Phase 2 (parallel over clusters): core-member collection into
+	// pre-assigned slots with pre-assigned ids. An empty window keeps
+	// res.Clusters nil, preserving the serialized shape of cluster-less
+	// windows ("Clusters":null, not []).
+	if len(roots) > 0 {
+		res.Clusters = make([]*core.Cluster, len(roots))
+	}
+	baseID := e.nextCID
+	e.nextCID += int64(len(roots))
+	par.For(workers, len(roots), func(i int) {
+		g := groups[roots[i]]
+		cl := &core.Cluster{ID: baseID + int64(i)}
+		cl.Members = make([]int64, 0, len(g))
+		cl.Cores = make([]int64, 0, len(g))
 		for _, o := range g {
 			cl.Members = append(cl.Members, o.id)
 			cl.Cores = append(cl.Cores, o.id)
 		}
-		res.Clusters = append(res.Clusters, cl)
-	}
-	// Attach edge objects (Definition 3.1: neighbors of cores; possibly in
-	// several clusters).
-	for _, o := range e.objs {
-		if o.coreLast >= n {
-			continue
-		}
-		var seen map[int]bool
+		res.Clusters[i] = cl
+	})
+
+	// Phase 3 (parallel over non-core objects): resolve which clusters each
+	// edge object attaches to (Definition 3.1: neighbors of cores; possibly
+	// several clusters). Every live core went through find in phase 1, so
+	// root is a read-only lookup here; the only write is each object's own
+	// neighbor-list compaction.
+	attach := make([][]int, len(nonCore))
+	par.For(workers, len(nonCore), func(i int) {
+		o := nonCore[i]
+		var cis []int
 		live := 0
 		for _, b := range o.nbrs {
 			if b.last < e.cur {
@@ -312,21 +347,34 @@ func (e *Extractor) emit() *core.WindowResult {
 			if b.coreLast < n {
 				continue
 			}
-			ci := rootIdx[v.find(b.id)]
-			if seen == nil {
-				seen = make(map[int]bool, 2)
+			ci := rootIdx[v.root(b.id)]
+			dup := false
+			for _, x := range cis {
+				if x == ci {
+					dup = true
+					break
+				}
 			}
-			if !seen[ci] {
-				seen[ci] = true
-				res.Clusters[ci].Members = append(res.Clusters[ci].Members, o.id)
+			if !dup {
+				cis = append(cis, ci)
 			}
 		}
 		o.nbrs = o.nbrs[:live]
+		attach[i] = cis
+	})
+	// Sequential merge; member order is canonicalized by the sort below.
+	for i, o := range nonCore {
+		for _, ci := range attach[i] {
+			res.Clusters[ci].Members = append(res.Clusters[ci].Members, o.id)
+		}
 	}
-	for _, c := range res.Clusters {
-		sort.Slice(c.Members, func(i, j int) bool { return c.Members[i] < c.Members[j] })
-		sort.Slice(c.Cores, func(i, j int) bool { return c.Cores[i] < c.Cores[j] })
-	}
+
+	// Phase 4 (parallel over clusters): canonical member order.
+	par.For(workers, len(res.Clusters), func(i int) {
+		c := res.Clusters[i]
+		sort.Slice(c.Members, func(a, b int) bool { return c.Members[a] < c.Members[b] })
+		sort.Slice(c.Cores, func(a, b int) bool { return c.Cores[a] < c.Cores[b] })
+	})
 
 	// Expiration: drop the view that just closed and the expired tuples.
 	delete(e.views, n)

@@ -1,22 +1,9 @@
-// Package grid implements the uniform grid over the data space that
-// underlies Skeletal Grid Summarization (§4.3).
-//
-// The space is partitioned into axis-aligned hypercubic cells. Following
-// the paper, the default cell size is chosen so that the cell *diagonal*
-// equals the clustering range threshold θr; then any two objects in the
-// same cell are neighbors of each other, which is what makes each cell
-// "well-connected" (Lemmas 4.1–4.2). Coarser cells are used by the
-// multi-resolution summarization (§6.1).
-//
-// The package provides cell coordinate arithmetic, enumeration of the cell
-// offsets that can possibly contain neighbors of a point (used by the
-// single range-query-search each arriving object performs in C-SGS), and a
-// simple grid-backed point index used by the non-integrated baselines.
 package grid
 
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"streamsum/internal/geom"
 )
@@ -230,6 +217,33 @@ func (g *Geometry) CanNeighbor(a, b Coord) bool {
 // neighbors.
 func (g *Geometry) Reach() int32 {
 	return int32(math.Ceil(g.radius / g.side))
+}
+
+// NeighborIndices returns, in ascending order, the indices j of the
+// occupied cells whose coords[j] can contain points within radius θr of
+// points in cell coords[i], including i itself. idx must be the inverse
+// of coords (idx[coords[j]] == j for every j). The batched ingest
+// pipelines use it to relate a segment's occupied cells: for few cells a
+// pairwise CanNeighbor scan is cheapest, but past |NeighborOffsets| cells
+// (sparse bursts) the offsets are probed through idx instead, bounding
+// the per-cell cost at O(|offsets|) rather than O(cells).
+func (g *Geometry) NeighborIndices(coords []Coord, idx map[Coord]int32, i int) []int32 {
+	var nbr []int32
+	if len(coords) <= len(g.offsets) {
+		for j := range coords {
+			if g.CanNeighbor(coords[i], coords[j]) {
+				nbr = append(nbr, int32(j))
+			}
+		}
+		return nbr
+	}
+	for _, off := range g.offsets {
+		if j, ok := idx[coords[i].Add(off)]; ok {
+			nbr = append(nbr, j)
+		}
+	}
+	sort.Slice(nbr, func(a, b int) bool { return nbr[a] < nbr[b] })
+	return nbr
 }
 
 func (g *Geometry) computeOffsets() []Coord {

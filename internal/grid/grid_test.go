@@ -279,3 +279,50 @@ func frac(x float64) float64 {
 	}
 	return f
 }
+
+// TestNeighborIndicesBranchesAgree: NeighborIndices' two strategies — the
+// pairwise CanNeighbor scan for few cells and the offset-probing path for
+// many — must return the same ascending index lists.
+func TestNeighborIndicesBranchesAgree(t *testing.T) {
+	for _, dim := range []int{1, 2, 3} {
+		g, err := NewGeometry(dim, 1.5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(int64(dim)))
+		// Enough distinct coords to force the offset-probing branch.
+		n := len(g.NeighborOffsets())*2 + 7
+		var coords []Coord
+		idx := make(map[Coord]int32)
+		for len(coords) < n {
+			c := make([]int32, dim)
+			for d := range c {
+				c[d] = rng.Int31n(20) - 10
+			}
+			co := CoordOf(c...)
+			if _, ok := idx[co]; ok {
+				continue
+			}
+			idx[co] = int32(len(coords))
+			coords = append(coords, co)
+		}
+		for i := range coords {
+			got := g.NeighborIndices(coords, idx, i)
+			// Reference: the pairwise definition.
+			var want []int32
+			for j := range coords {
+				if g.CanNeighbor(coords[i], coords[j]) {
+					want = append(want, int32(j))
+				}
+			}
+			if len(got) != len(want) {
+				t.Fatalf("dim=%d i=%d: got %v want %v", dim, i, got, want)
+			}
+			for k := range got {
+				if got[k] != want[k] {
+					t.Fatalf("dim=%d i=%d: got %v want %v", dim, i, got, want)
+				}
+			}
+		}
+	}
+}

@@ -26,16 +26,8 @@ type pcell struct {
 // non-integrated algorithms (static DBSCAN, Extra-N, RSP generation); C-SGS
 // embeds the same cell structure directly in its skeletal grid cells.
 //
-// # Concurrency
-//
-// PointIndex is single-writer. Its read path — RangeQuery, Neighbors,
-// CountNeighbors, Cells, Len, Geometry — performs no mutation of any kind
-// (no lazy cell creation, no rebalancing), so any number of goroutines may
-// read concurrently provided no Insert/BulkInsert/Remove overlaps with
-// them. This is the contract the batched ingest pipeline relies on: the
-// parallel neighbor-discovery phase fans read-only range queries over a
-// frozen index, and all writes happen in the sequential apply phase that
-// follows.
+// PointIndex is single-writer with a read-only concurrent query path; see
+// the package documentation for the full concurrency contract.
 type PointIndex struct {
 	geo   *Geometry
 	cells map[Coord]*pcell

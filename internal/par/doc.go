@@ -1,0 +1,24 @@
+// Package par provides the minimal data-parallel primitive the extractors'
+// internal fan-outs are built on: a bounded fork-join loop over an index
+// range.
+//
+// Both parallel stages of the system use it — the batched ingest
+// pipeline's neighbor-discovery phase (core.PushBatch, extran.PushBatch)
+// and the output stage's prune / edge-resolution / per-cluster
+// construction phases. It is deliberately tiny — no task stealing, no
+// futures — because the work items (one range query search, one cell
+// prune, one cluster build) are uniform enough that chunked scheduling
+// over an atomic cursor balances well.
+//
+// # Concurrency
+//
+// For(workers, n, fn) is a strict fork-join barrier: it returns only after
+// every fn(i) has completed, so callers may freely alternate parallel
+// phases with sequential ones — each phase sees all effects of the
+// previous phase (the WaitGroup edge orders memory). fn must be safe to
+// call concurrently for distinct i; the usual pattern is that fn(i) writes
+// only to slot i (or to state exclusively owned by item i) and reads only
+// state frozen before the For. With workers <= 1, or n too small to be
+// worth forking, the loop runs inline on the caller's goroutine — zero
+// overhead for sequential configurations, and identical semantics.
+package par

@@ -1,13 +1,3 @@
-// Package par provides the minimal data-parallel primitive the batched
-// ingest path is built on: a bounded fork-join loop over an index range.
-//
-// The batched C-SGS pipeline (core.PushBatch, extran.PushBatch) splits
-// every slide batch into a read-only neighbor-discovery phase and a
-// sequential state-update phase; par.For is the fan-out used by the
-// discovery phase. It is deliberately tiny — no task stealing, no
-// futures — because discovery work items (one range query search each)
-// are uniform enough that chunked static-ish scheduling over an atomic
-// cursor balances well.
 package par
 
 import (

@@ -26,8 +26,12 @@ import (
 // the consumer is nondeterministic, so OnWindow receives the shard index.
 //
 // Combined with BatchProcessor shards (whose PushBatch fans neighbor
-// discovery over a worker pool), this stacks two axes of parallelism:
-// across shards, and across cores inside each shard's discovery phase.
+// discovery over a worker pool) and engines configured with EmitWorkers
+// (whose output stage fans per-cluster summary construction the same
+// way), this stacks three axes of parallelism: across shards, across
+// cores inside each shard's discovery phase, and across cores inside each
+// shard's output stage — only the consumer callback itself remains
+// serialized.
 type Sharded struct {
 	// Procs are the per-shard processors; len(Procs) is the shard count.
 	Procs []Processor

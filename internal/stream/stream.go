@@ -1,10 +1,3 @@
-// Package stream provides the streaming plumbing around the pattern
-// extractor (§3.3): tuple sources (in-memory slices and CSV readers) and a
-// sequential executor that drives a Processor (C-SGS or Extra-N) over a
-// source, delivering per-window results to a callback together with
-// response-time accounting — the metric of §8.1 ("the average CPU time
-// elapsed from the time that all new data have arrived to the time that
-// all clusters have been output").
 package stream
 
 import (

@@ -1,6 +1,7 @@
 package streamsum
 
 import (
+	"context"
 	"encoding/json"
 	"testing"
 
@@ -8,6 +9,7 @@ import (
 	"streamsum/internal/extran"
 	"streamsum/internal/gen"
 	"streamsum/internal/stream"
+	"streamsum/internal/window"
 )
 
 // Both extractors must stay batch-capable: the facade's PushBatch and the
@@ -77,6 +79,111 @@ func TestEnginePushBatchMatchesPush(t *testing.T) {
 		}
 		if got, want := batEng.PatternBase().Len(), seqEng.PatternBase().Len(); got != want {
 			t.Errorf("workers=%d: archived %d summaries, want %d", workers, got, want)
+		}
+	}
+}
+
+// TestEngineEmitWorkersMatchesSequential is the facade-level determinism
+// guarantee of the parallel output stage: for EmitWorkers in {1, 2, 8}
+// the emitted windows must be byte-identical to the fully sequential
+// stage, for both the C-SGS and the Extra-N (FullOnly) engine. Run under
+// -race this also exercises the output-stage fan-out.
+func TestEngineEmitWorkersMatchesSequential(t *testing.T) {
+	data := gen.STT(gen.STTConfig{Seed: 2011}, 6000)
+	for _, fullOnly := range []bool{false, true} {
+		opts := Options{
+			Dim: 4, ThetaR: 1.2, ThetaC: 6, Win: 2000, Slide: 500,
+			FullOnly: fullOnly, EmitWorkers: 1,
+		}
+		run := func(o Options) []byte {
+			eng, err := New(o)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var out []*WindowResult
+			for i, p := range data.Points {
+				ws, err := eng.Push(p, data.TS[i])
+				if err != nil {
+					t.Fatal(err)
+				}
+				out = append(out, ws...)
+			}
+			w, err := eng.Flush()
+			if err != nil {
+				t.Fatal(err)
+			}
+			out = append(out, w)
+			b, err := json.Marshal(out)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return b
+		}
+		want := run(opts)
+		for _, ew := range []int{1, 2, 8} {
+			o := opts
+			o.EmitWorkers = ew
+			if got := run(o); string(got) != string(want) {
+				t.Errorf("fullOnly=%v emitWorkers=%d: output differs from sequential emit", fullOnly, ew)
+			}
+		}
+	}
+}
+
+// TestShardedEmitWorkersMatchesSequential: sharded ingestion with
+// parallel output stages inside every shard must produce, shard for
+// shard, byte-identical window sequences to shards running the fully
+// sequential output stage. Across shards the consumer interleaving is
+// nondeterministic by design, so windows are compared per shard.
+func TestShardedEmitWorkersMatchesSequential(t *testing.T) {
+	data := gen.STT(gen.STTConfig{Seed: 5}, 20000)
+	const shards = 3
+
+	run := func(emitWorkers int) [][]*WindowResult {
+		procs := make([]stream.Processor, shards)
+		for i := range procs {
+			ex, err := core.New(core.Config{
+				Dim: 4, ThetaR: 1.2, ThetaC: 6,
+				Window:      window.Spec{Win: 2000, Slide: 500},
+				Workers:     2,
+				EmitWorkers: emitWorkers,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			procs[i] = ex
+		}
+		perShard := make([][]*WindowResult, shards)
+		sh := &stream.Sharded{
+			Procs:     procs,
+			BatchSize: 500,
+			FlushTail: true,
+			OnWindow: func(shard int, w *WindowResult) error {
+				perShard[shard] = append(perShard[shard], w)
+				return nil
+			},
+		}
+		if _, err := sh.Run(context.Background(), stream.FromSlice(data.Points, data.TS)); err != nil {
+			t.Fatal(err)
+		}
+		return perShard
+	}
+
+	want := run(1)
+	for _, ew := range []int{2, 8} {
+		got := run(ew)
+		for s := 0; s < shards; s++ {
+			wb, err := json.Marshal(want[s])
+			if err != nil {
+				t.Fatal(err)
+			}
+			gb, err := json.Marshal(got[s])
+			if err != nil {
+				t.Fatal(err)
+			}
+			if string(wb) != string(gb) {
+				t.Errorf("emitWorkers=%d shard=%d: windows differ from sequential emit", ew, s)
+			}
 		}
 	}
 }

@@ -32,6 +32,15 @@
 // serialized consumer stage, stacking shard-level parallelism on top of
 // the per-batch discovery fan-out.
 //
+// # Output stage
+//
+// Whenever a window completes, the output stage extracts its clusters and
+// builds their summaries. The stage mirrors ingestion's structure: a cheap
+// sequential graph walk identifies the clusters, then per-cluster summary
+// construction fans out across Options.EmitWorkers goroutines over frozen
+// state, merged in deterministic cluster order — the emitted windows are
+// byte-identical at every worker count.
+//
 // # Quick start
 //
 //	eng, _ := streamsum.New(streamsum.Options{
@@ -55,6 +64,7 @@
 package streamsum
 
 import (
+	"errors"
 	"fmt"
 
 	"streamsum/internal/archive"
@@ -134,6 +144,13 @@ type Options struct {
 	// PushBatch: <= 0 means one worker per available CPU, 1 forces the
 	// fully sequential batch path. Single-tuple Push is unaffected.
 	Workers int
+	// EmitWorkers bounds the output stage's parallel fan-out (connection
+	// pruning, edge-attachment resolution, per-cluster summary
+	// construction): <= 0 means one worker per available CPU, 1 forces the
+	// fully sequential output stage. Applies to Push, PushBatch and Flush
+	// alike — the output stage runs whenever a window completes — and
+	// results are byte-identical at every setting.
+	EmitWorkers int
 }
 
 // Engine is the end-to-end system of the paper's Figure 4: pattern
@@ -152,7 +169,10 @@ func New(opts Options) (*Engine, error) {
 	if opts.TimeBased {
 		spec.Kind = window.TimeBased
 	}
-	cfg := core.Config{Dim: opts.Dim, ThetaR: opts.ThetaR, ThetaC: opts.ThetaC, Window: spec, Workers: opts.Workers}
+	cfg := core.Config{
+		Dim: opts.Dim, ThetaR: opts.ThetaR, ThetaC: opts.ThetaC, Window: spec,
+		Workers: opts.Workers, EmitWorkers: opts.EmitWorkers,
+	}
 	var (
 		proc stream.Processor
 		err  error
@@ -186,8 +206,8 @@ func New(opts Options) (*Engine, error) {
 // OptionsFromQuery parses a DETECT query in the paper's query language
 // (Figure 2) into engine Options. dim supplies the tuple dimensionality,
 // which the query language leaves to the schema. Execution-side knobs the
-// language does not cover (Workers, Archive, ArchiveNovelty) can be set on
-// the returned Options before calling New.
+// language does not cover (Workers, EmitWorkers, Archive, ArchiveNovelty)
+// can be set on the returned Options before calling New.
 func OptionsFromQuery(q string, dim int) (Options, error) {
 	cq, err := query.ParseCluster(q)
 	if err != nil {
@@ -263,10 +283,12 @@ func (e *Engine) PushBatch(pts []Point, tss []int64) ([]*WindowResult, error) {
 	emitted, err := bp.PushBatch(pts, tss)
 	// Windows completed before a mid-batch error are still real output and
 	// get archived, exactly as a sequential Push loop would have done
-	// before hitting the bad tuple.
+	// before hitting the bad tuple. An archive failure must not mask the
+	// ingest error (the caller needs to know the batch aborted), so the
+	// two are joined.
 	for _, w := range emitted {
 		if aerr := e.archiveWindow(w); aerr != nil {
-			return emitted, aerr
+			return emitted, errors.Join(err, aerr)
 		}
 	}
 	return emitted, err
