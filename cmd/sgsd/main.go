@@ -18,6 +18,15 @@
 // fans out across -workers goroutines; with -emit-workers M the output
 // stage's per-cluster summary construction fans out across M goroutines.
 // Output is identical to unbatched, sequential operation in every case.
+//
+// With -http ADDR, sgsd serves cluster matching queries over HTTP while
+// the stream is still being ingested — the pattern base is
+// snapshot-isolated, so analyst queries never stall archiving:
+//
+//	GET /match?q=GIVEN+DensityBasedCluster+3+SELECT+...   (target = archive id)
+//	GET /stats
+//
+// The matcher's refine phase fans out across -match-workers goroutines.
 package main
 
 import (
@@ -26,9 +35,13 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
+	"net/http"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 
 	"streamsum"
 	"streamsum/internal/archive"
@@ -72,6 +85,8 @@ func main() {
 	workers := flag.Int("workers", 0, "parallel neighbor-discovery workers for batched ingest (0 = one per CPU, 1 = sequential)")
 	batch := flag.Int("batch", 0, "ingest batch size; 0 pushes tuple-by-tuple, otherwise tuples are fed through PushBatch in batches of this size (the query's slide is a good value)")
 	emitWorkers := flag.Int("emit-workers", 0, "parallel output-stage workers for per-cluster summary construction (0 = one per CPU, 1 = sequential); windows are byte-identical at every setting")
+	matchWorkers := flag.Int("match-workers", 0, "parallel matching workers for the refine phase of /match queries (0 = one per CPU, 1 = sequential); results are byte-identical at every setting")
+	httpAddr := flag.String("http", "", "serve matching queries over HTTP on this address (e.g. :8080) concurrently with ingestion; implies archiving")
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(), `sgsd runs a continuous clustering query (the paper's Figure 2) over a
 stream and emits one JSON line per window with the clusters in both
@@ -83,17 +98,25 @@ every emitted summary is archived and the pattern base is saved on exit
 (inspect it with sgstool). With -log FILE summaries are appended to a
 crash-safe log as windows complete.
 
+With -http ADDR sgsd additionally serves cluster matching queries (the
+paper's Figure 3 syntax, GIVEN target = an archive id) over HTTP while
+ingesting — the pattern base is snapshot-isolated, so analyst traffic
+never stalls the stream:
+
+  curl 'localhost:8080/match?q=GIVEN+DensityBasedCluster+3+SELECT+DensityBasedClusters+FROM+History+WHERE+Distance+<=+0.2'
+
 Performance knobs: -batch N feeds tuples through the batched ingest path
 (parallel neighbor discovery across -workers goroutines; N = the query's
-slide amortizes best), and -emit-workers M fans the output stage's
-per-cluster summary construction across M goroutines. Both default to one
-worker per CPU and never change the output: windows are byte-identical to
-sequential tuple-by-tuple operation.
+slide amortizes best), -emit-workers M fans the output stage's
+per-cluster summary construction across M goroutines, and -match-workers
+K fans the matcher's refine phase across K goroutines. All default to one
+worker per CPU and never change the output: windows and match results are
+byte-identical to sequential operation.
 
 Example:
 
   sgsd -query "DETECT DensityBasedClusters f+s FROM s USING theta_range = 0.1 AND theta_cnt = 8 IN WINDOWS WITH win = 10000 AND slide = 1000" \
-       -source stt -n 50000 -batch 1000 -workers 4 -emit-workers 4
+       -source stt -n 50000 -batch 1000 -workers 4 -emit-workers 4 -http :8080
 
 Flags:
 `)
@@ -143,14 +166,35 @@ Flags:
 	if err != nil {
 		log.Fatal(err)
 	}
-	if *archivePath != "" {
+	if *archivePath != "" || *httpAddr != "" {
 		opts.Archive = &streamsum.ArchiveOptions{}
 	}
 	opts.Workers = *workers
 	opts.EmitWorkers = *emitWorkers
+	opts.MatchWorkers = *matchWorkers
 	eng, err := streamsum.New(opts)
 	if err != nil {
 		log.Fatal(err)
+	}
+
+	var srv *http.Server
+	if *httpAddr != "" {
+		// The pattern base is snapshot-isolated, so these handlers run
+		// concurrently with the ingest loop below without coordination.
+		mux := http.NewServeMux()
+		mux.HandleFunc("/match", matchHandler(eng))
+		mux.HandleFunc("/stats", statsHandler(eng))
+		ln, err := net.Listen("tcp", *httpAddr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		srv = &http.Server{Handler: mux}
+		go func() {
+			if err := srv.Serve(ln); err != nil && err != http.ErrServerClosed {
+				log.Fatal(err)
+			}
+		}()
+		fmt.Fprintf(os.Stderr, "sgsd: serving matching queries on %s\n", ln.Addr())
 	}
 
 	var appender *archive.Appender
@@ -282,5 +326,97 @@ Flags:
 		fmt.Fprintf(os.Stderr, "sgsd: %d tuples processed, %d clusters archived to %s (%.1f KB)\n",
 			tuples, eng.PatternBase().Len(), *archivePath,
 			float64(eng.PatternBase().Bytes())/1024)
+	}
+
+	if srv != nil {
+		fmt.Fprintf(os.Stderr, "sgsd: stream complete (%d tuples); still serving matching queries (interrupt to exit)\n", tuples)
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		<-sig
+		_ = srv.Close()
+	}
+}
+
+type matchRespJSON struct {
+	Candidates int         `json:"candidates"`
+	Refined    int         `json:"refined"`
+	Matches    []matchJSON `json:"matches"`
+}
+
+type matchJSON struct {
+	ID       int64   `json:"id"`
+	Distance float64 `json:"distance"`
+	Window   int64   `json:"window"`
+	Cells    int     `json:"cells"`
+}
+
+// matchHandler executes a Figure 3 matching query against the live
+// pattern base. The query's GIVEN reference is resolved as an archive
+// id, so analysts ask "what looks like cluster 17?" while the stream is
+// still running. Like sgstool match, the target's own archived copy is
+// excluded from the results rather than consuming LIMIT slots.
+func matchHandler(eng *streamsum.Engine) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		qs := r.URL.Query().Get("q")
+		if qs == "" {
+			http.Error(w, "missing q parameter (a GIVEN ... SELECT ... matching query)", http.StatusBadRequest)
+			return
+		}
+		mo, ref, err := streamsum.MatchOptionsFromQuery(qs)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		id, err := strconv.ParseInt(ref, 10, 64)
+		if err != nil {
+			http.Error(w, fmt.Sprintf("target %q must be an archive id", ref), http.StatusBadRequest)
+			return
+		}
+		e := eng.PatternBase().Get(id)
+		if e == nil {
+			http.Error(w, fmt.Sprintf("no archived cluster %d", id), http.StatusNotFound)
+			return
+		}
+		mo.Target = e.Summary
+		limit := mo.Limit
+		if limit > 0 {
+			mo.Limit = limit + 1 // the target itself matches at distance 0
+		}
+		ms, stats, err := eng.Match(mo)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		resp := matchRespJSON{
+			Candidates: stats.IndexCandidates,
+			Refined:    stats.Refined,
+			Matches:    make([]matchJSON, 0, len(ms)),
+		}
+		for _, m := range ms {
+			if m.ID == id {
+				continue
+			}
+			if limit > 0 && len(resp.Matches) == limit {
+				break
+			}
+			resp.Matches = append(resp.Matches, matchJSON{
+				ID: m.ID, Distance: m.Distance,
+				Window: m.Entry.Summary.Window, Cells: m.Entry.Summary.NumCells(),
+			})
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(resp)
+	}
+}
+
+// statsHandler reports the pattern base's current size.
+func statsHandler(eng *streamsum.Engine) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		base := eng.PatternBase()
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(map[string]int{
+			"clusters": base.Len(),
+			"bytes":    base.Bytes(),
+		})
 	}
 }

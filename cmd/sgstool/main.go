@@ -9,6 +9,9 @@
 //	sgstool match base.sgsb -id 3 -threshold 0.3 -limit 5
 //	                                    # match one archived cluster
 //	                                    # against the rest of the base
+//
+// All subcommands read through one pattern-base snapshot, the same
+// read-only view matching queries use against a live archiver.
 package main
 
 import (
@@ -32,6 +35,7 @@ func main() {
 	id := fs.Int64("id", 0, "archive id (show, match)")
 	threshold := fs.Float64("threshold", 0.3, "distance threshold (match)")
 	limit := fs.Int("limit", 5, "max matches (match)")
+	matchWorkers := fs.Int("match-workers", 0, "parallel matching workers for the refine phase (0 = one per CPU, 1 = sequential)")
 	dim := fs.Int("dim", 0, "data dimensionality (default: taken from the first record)")
 	_ = fs.Parse(os.Args[3:])
 
@@ -39,11 +43,14 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	// One snapshot serves every subcommand: a consistent point-in-time
+	// view, searched without ever taking the base lock.
+	snap := base.Snapshot()
 
 	switch cmd {
 	case "list":
 		fmt.Printf("%6s %8s %8s %8s %8s %10s %8s\n", "id", "window", "cells", "core", "pop", "density", "bytes")
-		base.All(func(e *archive.Entry) bool {
+		snap.All(func(e *archive.Entry) bool {
 			f := e.Features
 			fmt.Printf("%6d %8d %8.0f %8.0f %8d %10.2f %8d\n",
 				e.ID, e.Summary.Window, f.Volume, f.StatusCount,
@@ -51,7 +58,7 @@ func main() {
 			return true
 		})
 	case "show":
-		e := base.Get(*id)
+		e := snap.Get(*id)
 		if e == nil {
 			log.Fatalf("sgstool: no cluster %d", *id)
 		}
@@ -63,7 +70,7 @@ func main() {
 		fmt.Print(e.Summary.Render())
 	case "stats":
 		n, cells, pop, bytes := 0, 0, 0, 0
-		base.All(func(e *archive.Entry) bool {
+		snap.All(func(e *archive.Entry) bool {
 			n++
 			cells += e.Summary.NumCells()
 			pop += e.Summary.TotalPopulation()
@@ -79,15 +86,16 @@ func main() {
 		fmt.Printf("total population:%d\n", pop)
 		fmt.Printf("summary bytes:   %d (avg %.0f per cluster, %.1f per cell)\n",
 			bytes, float64(bytes)/float64(n), float64(bytes)/float64(cells))
-		full := pop * 8 * dimOf(base)
+		full := pop * 8 * dimOf(snap)
 		fmt.Printf("full-rep bytes:  ~%d → compression %.1f%%\n", full, 100*(1-float64(bytes)/float64(full)))
 	case "match":
-		e := base.Get(*id)
+		e := snap.Get(*id)
 		if e == nil {
 			log.Fatalf("sgstool: no cluster %d", *id)
 		}
-		ms, stats, err := match.Run(base, match.Query{
+		ms, stats, err := match.Run(snap, match.Query{
 			Target: e.Summary, Threshold: *threshold, Limit: *limit + 1,
+			Workers: *matchWorkers,
 		})
 		if err != nil {
 			log.Fatal(err)
@@ -163,9 +171,9 @@ func load(path string, dim int) (*archive.Base, error) {
 	return nil, fmt.Errorf("sgstool: could not determine dimensionality; pass -dim")
 }
 
-func dimOf(b *archive.Base) int {
+func dimOf(s *archive.Snapshot) int {
 	d := 2
-	b.All(func(e *archive.Entry) bool {
+	s.All(func(e *archive.Entry) bool {
 		d = e.Summary.Dim
 		return false
 	})

@@ -2,7 +2,11 @@ package archive
 
 import (
 	"bytes"
+	"encoding/binary"
+	"fmt"
 	"testing"
+
+	"streamsum/internal/sgs"
 )
 
 func TestAppenderRoundTrip(t *testing.T) {
@@ -102,11 +106,21 @@ func TestAppenderSelectionOnReplay(t *testing.T) {
 
 func TestLoadAppendedErrors(t *testing.T) {
 	b, _ := New(Config{Dim: 2})
-	if _, _, err := b.LoadAppended(bytes.NewReader(nil)); err == nil {
-		t.Error("empty log accepted")
+	// An empty file and a strict prefix of the magic are torn headers (a
+	// crash can hit before the first flush), not corrupt files.
+	if n, torn, err := b.LoadAppended(bytes.NewReader(nil)); err != nil || !torn || n != 0 {
+		t.Errorf("empty log: n=%d torn=%v err=%v, want torn header", n, torn, err)
 	}
+	if n, torn, err := b.LoadAppended(bytes.NewReader([]byte("SGSL"))); err != nil || !torn || n != 0 {
+		t.Errorf("partial magic: n=%d torn=%v err=%v, want torn header", n, torn, err)
+	}
+	// Bytes that disagree with the magic are a different file, not a torn
+	// one — whether truncated or complete.
 	if _, _, err := b.LoadAppended(bytes.NewReader([]byte("NOTALOG1"))); err == nil {
 		t.Error("bad magic accepted")
+	}
+	if _, _, err := b.LoadAppended(bytes.NewReader([]byte("XGS"))); err == nil {
+		t.Error("truncated bad magic accepted")
 	}
 	// Non-empty base refuses.
 	sums := fixtureSummaries(t, 1, 24)
@@ -118,5 +132,168 @@ func TestLoadAppendedErrors(t *testing.T) {
 	_ = ap.Flush()
 	if _, _, err := b.LoadAppended(bytes.NewReader(log.Bytes())); err == nil {
 		t.Error("non-empty base accepted")
+	}
+}
+
+// failingWriter accepts limit bytes, then fails every write with errBoom
+// (partial writes included, like a disk running full mid-buffer-flush).
+type failingWriter struct {
+	buf   bytes.Buffer
+	limit int
+	fails int
+}
+
+var errBoom = fmt.Errorf("boom: no space left")
+
+func (w *failingWriter) Write(p []byte) (int, error) {
+	room := w.limit - w.buf.Len()
+	if room >= len(p) {
+		return w.buf.Write(p)
+	}
+	if room > 0 {
+		w.buf.Write(p[:room])
+	} else {
+		room = 0
+	}
+	w.fails++
+	return room, errBoom
+}
+
+// TestAppenderFailStop covers the mis-framing hazard: after the first
+// write error the appender must refuse every further Append/Flush with
+// the latched error, so no record can land misaligned after a torn one —
+// and whatever did reach the log must recover cleanly.
+func TestAppenderFailStop(t *testing.T) {
+	sums := fixtureSummaries(t, 12, 25)
+	// Fail once the underlying writer has eaten ~1.5 records' worth past
+	// the header, forcing the error to surface mid-stream.
+	rec := len(sgsMarshalLen(sums[0]))
+	fw := &failingWriter{limit: len(logMagic) + rec + rec/2}
+	ap, err := NewAppender(fw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var first error
+	appended := 0
+	for _, s := range sums {
+		if err := ap.Append(s); err != nil {
+			first = err
+			break
+		}
+		appended++
+		if err := ap.Flush(); err != nil { // surface buffered write errors now
+			first = err
+			break
+		}
+	}
+	if first == nil {
+		t.Fatal("failing writer never surfaced an error")
+	}
+	if ap.Err() == nil {
+		t.Fatal("error not latched")
+	}
+	// Every subsequent operation returns the latched error and writes
+	// nothing more.
+	size := fw.buf.Len()
+	if err := ap.Append(sums[0]); err != first {
+		t.Fatalf("Append after failure: %v, want latched %v", err, first)
+	}
+	if err := ap.Flush(); err != first {
+		t.Fatalf("Flush after failure: %v, want latched %v", err, first)
+	}
+	if fw.buf.Len() != size {
+		t.Fatal("appender kept writing after the latched error")
+	}
+	if ap.Count() != appended {
+		t.Fatalf("Count = %d, want %d successful appends", ap.Count(), appended)
+	}
+	// The surviving log is a clean prefix: recovered without error, with
+	// at most a torn tail.
+	b, _ := New(Config{Dim: 2})
+	n, _, err := b.LoadAppended(bytes.NewReader(fw.buf.Bytes()))
+	if err != nil {
+		t.Fatalf("recovery of fail-stop log errored: %v", err)
+	}
+	if n > appended {
+		t.Fatalf("recovered %d records from %d successful appends", n, appended)
+	}
+}
+
+// sgsMarshalLen returns one encoded record (length prefix + blob), used
+// to size the failing writer.
+func sgsMarshalLen(s *sgs.Summary) []byte {
+	blob := sgs.Marshal(s)
+	out := make([]byte, 4+len(blob))
+	binary.LittleEndian.PutUint32(out, uint32(len(blob)))
+	copy(out[4:], blob)
+	return out
+}
+
+// TestLoadAppendedTruncationSweep truncates a valid log at every byte
+// offset: recovery must always succeed (no error), return exactly the
+// complete-record prefix, flag torn if and only if the cut fell inside a
+// record or the header, and never materialize a corrupt entry.
+func TestLoadAppendedTruncationSweep(t *testing.T) {
+	sums := fixtureSummaries(t, 6, 26)
+	var log bytes.Buffer
+	ap, err := NewAppender(&log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range sums {
+		if err := ap.Append(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := ap.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	full := log.Bytes()
+
+	// Record boundaries: header end, then each record end.
+	bounds := map[int]int{len(logMagic): 0} // offset -> records complete there
+	off := len(logMagic)
+	for i, s := range sums {
+		off += len(sgsMarshalLen(s))
+		bounds[off] = i + 1
+	}
+	if off != len(full) {
+		t.Fatalf("boundary math: %d != log size %d", off, len(full))
+	}
+
+	wantAt := func(cut int) (recs int, torn bool) {
+		best := 0
+		for b, n := range bounds {
+			if b <= cut && n > best {
+				best = n
+			}
+		}
+		_, clean := bounds[cut]
+		return best, !clean && cut != len(full)
+	}
+
+	for cut := 0; cut <= len(full); cut++ {
+		b, _ := New(Config{Dim: 2})
+		n, torn, err := b.LoadAppended(bytes.NewReader(full[:cut]))
+		if err != nil {
+			t.Fatalf("cut %d: unexpected error %v", cut, err)
+		}
+		wantN, wantTorn := wantAt(cut)
+		if n != wantN || torn != wantTorn {
+			t.Fatalf("cut %d: n=%d torn=%v, want n=%d torn=%v", cut, n, torn, wantN, wantTorn)
+		}
+		if b.Len() != n {
+			t.Fatalf("cut %d: base holds %d, recovered %d", cut, b.Len(), n)
+		}
+		// Recovered entries are the intact prefix, uncorrupted.
+		i := 0
+		b.All(func(e *Entry) bool {
+			if e.Summary.NumCells() != sums[i].NumCells() ||
+				e.Summary.TotalPopulation() != sums[i].TotalPopulation() {
+				t.Fatalf("cut %d: record %d corrupt after recovery", cut, i)
+			}
+			i++
+			return true
+		})
 	}
 }

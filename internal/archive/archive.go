@@ -1,15 +1,3 @@
-// Package archive implements the Pattern Archiver and Pattern Base of the
-// framework (§3.3, §6, §7.1).
-//
-// The archiver decides which extracted clusters enter the pattern base
-// (selective archiving: sampling and feature predicates, §6.2) and at
-// which resolution they are stored (budget- and accuracy-aware resolution
-// selection over the multi-resolution SGS hierarchy, §6.1). The pattern
-// base organizes the archived summaries under two indices: an R-tree over
-// cluster MBRs (locational feature index) and a 4-D grid over the
-// non-locational features (volume, status count, average density, average
-// connectivity), so matching queries can locate candidates without
-// scanning the archive (§7.1).
 package archive
 
 import (
@@ -50,7 +38,9 @@ type Config struct {
 	Seed int64
 }
 
-// Entry is one archived cluster.
+// Entry is one archived cluster. Entries are immutable once archived:
+// they are shared by reference between the base and every snapshot, and
+// no field is ever modified after Put returns.
 type Entry struct {
 	ID       int64
 	Summary  *sgs.Summary
@@ -61,18 +51,51 @@ type Entry struct {
 	Bytes int
 }
 
-// Base is the pattern base. It is safe for concurrent use: the extractor
-// appends while analysts run matching queries.
-type Base struct {
-	mu      sync.RWMutex
-	cfg     Config
-	rng     *rand.Rand
-	nextID  int64
+// generation is the frozen, fully indexed portion of the base. A
+// generation is immutable once published: its indices are only ever
+// traversed after publication, never mutated, so any number of snapshot
+// readers may search them concurrently without synchronization (the
+// read-only traversal contract documented in internal/rtree and
+// internal/featidx).
+type generation struct {
 	entries map[int64]*Entry
-	order   []int64 // FIFO for capacity eviction
+	order   []int64 // FIFO
 	loc     *rtree.Tree
 	feat    *featidx.Index
-	bytes   int
+}
+
+func newGeneration(dim int) *generation {
+	return &generation{
+		entries: make(map[int64]*Entry),
+		loc:     rtree.New(dim),
+		feat:    featidx.New(),
+	}
+}
+
+// Base is the pattern base. It is safe for concurrent use: any number of
+// extractor shards append (Put/PutBatch/Remove) while analysts run
+// matching queries against read-only snapshots.
+//
+// Internally the base is generational: a frozen, index-backed generation
+// absorbs the bulk of the archive, recent mutations accumulate in a small
+// unindexed delta (appends) plus a tombstone set (removals), and the
+// writer folds both into a fresh generation once they outgrow an
+// amortized threshold. Queries never traverse live indices — they pin a
+// Snapshot, so a mutation never blocks on a reader and a reader never
+// observes a half-applied write.
+type Base struct {
+	mu     sync.Mutex
+	cfg    Config
+	rng    *rand.Rand
+	nextID int64
+
+	frozen      *generation
+	frozenEvict int                // frozen.order index of the next FIFO eviction candidate
+	delta       []*Entry           // archived since the last rebuild, FIFO, unindexed
+	dead        map[int64]struct{} // frozen ids removed since the last rebuild
+	count       int                // live entries (frozen minus dead, plus delta)
+	bytes       int                // live encoded bytes
+	snap        *Snapshot          // cached read view; nil after any mutation
 }
 
 // New returns an empty pattern base.
@@ -90,11 +113,10 @@ func New(cfg Config) (*Base, error) {
 		return nil, fmt.Errorf("archive: sample rate %g out of [0,1]", cfg.SampleRate)
 	}
 	return &Base{
-		cfg:     cfg,
-		rng:     rand.New(rand.NewSource(cfg.Seed)),
-		entries: make(map[int64]*Entry),
-		loc:     rtree.New(cfg.Dim),
-		feat:    featidx.New(),
+		cfg:    cfg,
+		rng:    rand.New(rand.NewSource(cfg.Seed)),
+		frozen: newGeneration(cfg.Dim),
+		dead:   make(map[int64]struct{}),
 	}, nil
 }
 
@@ -103,16 +125,29 @@ func (b *Base) Config() Config { return b.cfg }
 
 // Len returns the number of archived clusters.
 func (b *Base) Len() int {
-	b.mu.RLock()
-	defer b.mu.RUnlock()
-	return len(b.entries)
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.count
 }
 
 // Bytes returns the total encoded size of all archived summaries.
 func (b *Base) Bytes() int {
-	b.mu.RLock()
-	defer b.mu.RUnlock()
+	b.mu.Lock()
+	defer b.mu.Unlock()
 	return b.bytes
+}
+
+// validatePut checks a summary before it is offered to the selection
+// policy. It reads only the immutable config, so callers may invoke it
+// with or without the base lock held.
+func (b *Base) validatePut(s *sgs.Summary) error {
+	if s == nil || s.NumCells() == 0 {
+		return fmt.Errorf("archive: empty summary")
+	}
+	if s.Dim != b.cfg.Dim {
+		return fmt.Errorf("archive: summary dimension %d != base dimension %d", s.Dim, b.cfg.Dim)
+	}
+	return nil
 }
 
 // Put offers one extracted cluster summary to the archiver. It returns the
@@ -120,15 +155,42 @@ func (b *Base) Bytes() int {
 // selection policy skipped it. The summary is cloned/compressed; the
 // caller's copy is never retained.
 func (b *Base) Put(s *sgs.Summary) (int64, bool, error) {
-	if s == nil || s.NumCells() == 0 {
-		return 0, false, fmt.Errorf("archive: empty summary")
-	}
-	if s.Dim != b.cfg.Dim {
-		return 0, false, fmt.Errorf("archive: summary dimension %d != base dimension %d", s.Dim, b.cfg.Dim)
+	if err := b.validatePut(s); err != nil {
+		return 0, false, err
 	}
 	b.mu.Lock()
 	defer b.mu.Unlock()
+	return b.putLocked(s)
+}
 
+// PutBatch offers a window's worth of summaries with semantics identical
+// to calling Put for each in order (same policy decisions, same ids, same
+// evictions), but under a single base lock acquisition — the intended
+// append path for sharded ingestion, where N engines feed one base and
+// per-cluster locking would multiply contention. It returns the per-
+// summary archive ids and archived flags. On error the prefix already
+// archived stays archived (exactly as a sequential Put loop would leave
+// it) and the returned slices cover that prefix.
+func (b *Base) PutBatch(ss []*sgs.Summary) (ids []int64, archived []bool, err error) {
+	ids = make([]int64, 0, len(ss))
+	archived = make([]bool, 0, len(ss))
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for _, s := range ss {
+		if err := b.validatePut(s); err != nil {
+			return ids, archived, err
+		}
+		id, ok, err := b.putLocked(s)
+		if err != nil {
+			return ids, archived, err
+		}
+		ids = append(ids, id)
+		archived = append(archived, ok)
+	}
+	return ids, archived, nil
+}
+
+func (b *Base) putLocked(s *sgs.Summary) (int64, bool, error) {
 	// Selective archiving (§6.2).
 	if b.cfg.MinPopulation > 0 && s.TotalPopulation() < b.cfg.MinPopulation {
 		return 0, false, nil
@@ -156,19 +218,24 @@ func (b *Base) Put(s *sgs.Summary) (int64, bool, error) {
 		Features: stored.Features(),
 		Bytes:    sgs.EncodedSize(stored),
 	}
-	if err := b.loc.Insert(id, e.MBR); err != nil {
+	if e.MBR.IsEmpty() {
+		return 0, false, fmt.Errorf("archive: summary has empty MBR")
+	}
+	// Fold before committing the entry: a fold error then reports a
+	// genuinely un-archived summary (the error path is unreachable for
+	// entries that passed the validation above, but the contract — Put
+	// fails means not archived — must not depend on that).
+	if err := b.maybeRebuildLocked(); err != nil {
 		return 0, false, err
 	}
-	b.feat.Insert(id, e.Features.Vector())
-	b.entries[id] = e
-	b.order = append(b.order, id)
+	b.delta = append(b.delta, e)
+	b.count++
 	b.bytes += e.Bytes
+	b.snap = nil
 
 	if b.cfg.Capacity > 0 {
-		for len(b.entries) > b.cfg.Capacity {
-			oldest := b.order[0]
-			b.order = b.order[1:]
-			b.removeLocked(oldest)
+		for b.count > b.cfg.Capacity {
+			b.evictOldestLocked()
 		}
 	}
 	return id, true, nil
@@ -196,69 +263,146 @@ func (b *Base) selectResolution(s *sgs.Summary) (*sgs.Summary, error) {
 	return s.CompressTo(b.cfg.Level, b.cfg.Theta)
 }
 
-// Get returns the archived entry with the given id, or nil.
+// evictOldestLocked removes the oldest live entry (FIFO). All frozen
+// entries predate all delta entries, so the candidate is the first
+// non-tombstoned frozen id, falling back to the delta head once the
+// frozen generation is exhausted.
+func (b *Base) evictOldestLocked() {
+	for b.frozenEvict < len(b.frozen.order) {
+		id := b.frozen.order[b.frozenEvict]
+		b.frozenEvict++
+		if _, gone := b.dead[id]; gone {
+			continue
+		}
+		e := b.frozen.entries[id]
+		b.dead[id] = struct{}{}
+		b.count--
+		b.bytes -= e.Bytes
+		return
+	}
+	if len(b.delta) > 0 {
+		e := b.delta[0]
+		b.delta = b.delta[1:]
+		b.count--
+		b.bytes -= e.Bytes
+	}
+}
+
+// Get returns the archived entry with the given id, or nil. It reads
+// through the (cached) snapshot so its visibility always matches what
+// searches see.
 func (b *Base) Get(id int64) *Entry {
-	b.mu.RLock()
-	defer b.mu.RUnlock()
-	return b.entries[id]
+	return b.Snapshot().Get(id)
 }
 
 // Remove deletes an archived cluster. It returns true if it existed.
 func (b *Base) Remove(id int64) bool {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	if _, ok := b.entries[id]; !ok {
+	if _, gone := b.dead[id]; gone {
 		return false
 	}
-	for i, x := range b.order {
-		if x == id {
-			b.order = append(b.order[:i], b.order[i+1:]...)
-			break
+	if e, ok := b.frozen.entries[id]; ok {
+		b.dead[id] = struct{}{}
+		b.count--
+		b.bytes -= e.Bytes
+		b.snap = nil
+		// A failed fold here would only delay compaction, never lose the
+		// removal (the tombstone is already recorded).
+		_ = b.maybeRebuildLocked()
+		return true
+	}
+	for i, e := range b.delta {
+		if e.ID == id {
+			b.delta = append(b.delta[:i], b.delta[i+1:]...)
+			b.count--
+			b.bytes -= e.Bytes
+			b.snap = nil
+			return true
 		}
 	}
-	b.removeLocked(id)
-	return true
+	return false
 }
 
-func (b *Base) removeLocked(id int64) {
-	e, ok := b.entries[id]
-	if !ok {
-		return
+// rebuildLimitLocked is the pending-mutation threshold beyond which the
+// writer folds delta + tombstones into a fresh frozen generation. Scaling
+// with the live population amortizes the O(n) fold to O(1) index work per
+// mutation; the cap bounds the linear delta scan every query pays. The
+// scan checks one MBR or feature vector per delta entry — microseconds
+// even at the cap, noise next to the refine phase — so the threshold
+// leans generous to keep the append path cheap (a capacity-bounded base
+// generates two pending mutations per Put: the append and the eviction
+// tombstone).
+func (b *Base) rebuildLimitLocked() int {
+	limit := 64 + b.count/2
+	if limit > 4096 {
+		limit = 4096
 	}
-	b.loc.Delete(id, e.MBR)
-	b.feat.Remove(id, e.Features.Vector())
-	b.bytes -= e.Bytes
-	delete(b.entries, id)
+	return limit
+}
+
+func (b *Base) maybeRebuildLocked() error {
+	if len(b.delta)+len(b.dead) <= b.rebuildLimitLocked() {
+		return nil
+	}
+	return b.rebuildLocked()
+}
+
+// rebuildLocked publishes a fresh generation holding every live entry in
+// FIFO order. The old generation is never mutated — snapshots pinned to
+// it stay valid and simply age.
+func (b *Base) rebuildLocked() error {
+	g := newGeneration(b.cfg.Dim)
+	g.order = make([]int64, 0, b.count)
+	add := func(e *Entry) error {
+		if err := g.loc.Insert(e.ID, e.MBR); err != nil {
+			return err
+		}
+		g.feat.Insert(e.ID, e.Features.Vector())
+		g.entries[e.ID] = e
+		g.order = append(g.order, e.ID)
+		return nil
+	}
+	for _, id := range b.frozen.order {
+		if _, gone := b.dead[id]; gone {
+			continue
+		}
+		if err := add(b.frozen.entries[id]); err != nil {
+			return err
+		}
+	}
+	for _, e := range b.delta {
+		if err := add(e); err != nil {
+			return err
+		}
+	}
+	b.frozen = g
+	b.frozenEvict = 0
+	b.delta = nil
+	b.dead = make(map[int64]struct{})
+	b.snap = nil
+	return nil
 }
 
 // SearchLocation visits archived entries whose MBR intersects the query
-// box (the position-sensitive filter phase).
+// box (the position-sensitive filter phase). The callback runs against a
+// snapshot — never under the base lock — so it may freely call Put,
+// Remove, or further searches; mutations it makes are not reflected in
+// the iteration in progress.
 func (b *Base) SearchLocation(q geom.MBR, visit func(*Entry) bool) {
-	b.mu.RLock()
-	defer b.mu.RUnlock()
-	b.loc.SearchIntersect(q, func(it rtree.Item) bool {
-		return visit(b.entries[it.ID])
-	})
+	b.Snapshot().SearchLocation(q, visit)
 }
 
 // SearchFeatures visits archived entries whose feature vector lies inside
-// [lo, hi] (the non-position-sensitive filter phase).
+// [lo, hi] (the non-position-sensitive filter phase). The callback runs
+// against a snapshot; see SearchLocation for the reentrancy contract.
 func (b *Base) SearchFeatures(lo, hi [4]float64, visit func(*Entry) bool) {
-	b.mu.RLock()
-	defer b.mu.RUnlock()
-	b.feat.Search(lo, hi, func(fe featidx.Entry) bool {
-		return visit(b.entries[fe.ID])
-	})
+	b.Snapshot().SearchFeatures(lo, hi, visit)
 }
 
-// All visits every archived entry (diagnostics, persistence, linear-scan
-// baselines).
+// All visits every archived entry in FIFO order (diagnostics,
+// persistence, linear-scan baselines). The callback runs against a
+// snapshot; see SearchLocation for the reentrancy contract.
 func (b *Base) All(visit func(*Entry) bool) {
-	b.mu.RLock()
-	defer b.mu.RUnlock()
-	for _, id := range b.order {
-		if !visit(b.entries[id]) {
-			return
-		}
-	}
+	b.Snapshot().All(visit)
 }

@@ -1,0 +1,49 @@
+// Package archive implements the Pattern Archiver and Pattern Base of the
+// framework (§3.3, §6, §7.1).
+//
+// The archiver decides which extracted clusters enter the pattern base
+// (selective archiving: sampling and feature predicates, §6.2) and at
+// which resolution they are stored (budget- and accuracy-aware resolution
+// selection over the multi-resolution SGS hierarchy, §6.1). The pattern
+// base organizes the archived summaries under two indices: an R-tree over
+// cluster MBRs (locational feature index) and a 4-D grid over the
+// non-locational features (volume, status count, average density, average
+// connectivity), so matching queries can locate candidates without
+// scanning the archive (§7.1).
+//
+// # Concurrency: snapshot isolation
+//
+// The base separates the archiver's append path from the analyzer's query
+// path. Writers (Put, PutBatch, Remove) mutate only generational
+// bookkeeping under a single mutex: appends go to a small unindexed
+// delta, removals to a tombstone set, and both fold into a fresh
+// immutable generation — entries, FIFO order, R-tree, feature grid —
+// once they outgrow an amortized threshold. Readers call Snapshot, which
+// pins the current generation plus a private copy of the delta and
+// tombstones, and then search entirely without locks: a matching query
+// in the refine phase never blocks a shard's Put, and a Put never
+// invalidates an iteration in progress.
+//
+// Consequences callers rely on:
+//
+//   - Entry values are immutable after Put returns; they are shared by
+//     reference across the base and all snapshots.
+//   - SearchLocation, SearchFeatures and All run their callbacks against
+//     a snapshot, never under the base lock, so a callback may call Put
+//     or Remove (the running iteration does not see the mutation).
+//   - PutBatch archives one window's clusters under one lock
+//     acquisition; it is byte-for-byte equivalent to a sequential Put
+//     loop (same policy decisions, ids and evictions).
+//   - A Snapshot taken once observes a single archive state across any
+//     number of searches — the property the matcher's filter-and-refine
+//     pipeline needs to stay deterministic.
+//
+// # Persistence
+//
+// Save/Load write and rebuild the whole base (indices are derived data);
+// Appender/LoadAppended stream per-window records to a crash-safe log
+// whose damaged tail is detected and discarded on replay. The Appender
+// is fail-stop: after any write error it latches the error and refuses
+// further appends, so a torn record can never be followed by a
+// "successful" one that mis-frames the log.
+package archive

@@ -20,28 +20,33 @@ var fileMagic = [8]byte{'S', 'G', 'S', 'B', 'A', 'S', 'E', '1'}
 // ErrBadFile is returned when loading a corrupt pattern-base file.
 var ErrBadFile = errors.New("archive: bad pattern base file")
 
-// Save writes all archived summaries to w.
+// Save writes all archived summaries to w. It serializes a snapshot, so
+// concurrent Puts neither block on nor corrupt the dump.
 func (b *Base) Save(w io.Writer) error {
-	b.mu.RLock()
-	defer b.mu.RUnlock()
+	snap := b.Snapshot()
 	bw := bufio.NewWriter(w)
 	if _, err := bw.Write(fileMagic[:]); err != nil {
 		return err
 	}
 	var n8 [8]byte
-	binary.LittleEndian.PutUint64(n8[:], uint64(len(b.entries)))
+	binary.LittleEndian.PutUint64(n8[:], uint64(snap.Len()))
 	if _, err := bw.Write(n8[:]); err != nil {
 		return err
 	}
-	for _, id := range b.order {
-		blob := sgs.Marshal(b.entries[id].Summary)
+	var werr error
+	snap.All(func(e *Entry) bool {
+		blob := sgs.Marshal(e.Summary)
 		binary.LittleEndian.PutUint64(n8[:], uint64(len(blob)))
-		if _, err := bw.Write(n8[:]); err != nil {
-			return err
+		if _, werr = bw.Write(n8[:]); werr != nil {
+			return false
 		}
-		if _, err := bw.Write(blob); err != nil {
-			return err
+		if _, werr = bw.Write(blob); werr != nil {
+			return false
 		}
+		return true
+	})
+	if werr != nil {
+		return werr
 	}
 	return bw.Flush()
 }
@@ -49,7 +54,8 @@ func (b *Base) Save(w io.Writer) error {
 // Load reads summaries written by Save into an empty pattern base created
 // with the same dimensionality. Selection policies are not re-applied: the
 // file's contents were already selected when first archived. Archive ids
-// are reassigned densely.
+// are reassigned densely. The whole file is parsed and validated before
+// any state is committed, so a corrupt file leaves the base empty.
 func (b *Base) Load(r io.Reader) error {
 	if b.Len() != 0 {
 		return fmt.Errorf("archive: Load requires an empty base")
@@ -67,6 +73,8 @@ func (b *Base) Load(r io.Reader) error {
 		return fmt.Errorf("%w: %v", ErrBadFile, err)
 	}
 	count := binary.LittleEndian.Uint64(n8[:])
+	entries := make([]*Entry, 0, count)
+	bytes := 0
 	for i := uint64(0); i < count; i++ {
 		if _, err := io.ReadFull(br, n8[:]); err != nil {
 			return fmt.Errorf("%w: truncated at record %d", ErrBadFile, i)
@@ -83,20 +91,36 @@ func (b *Base) Load(r io.Reader) error {
 		if err != nil {
 			return fmt.Errorf("%w: record %d: %v", ErrBadFile, i, err)
 		}
-		b.mu.Lock()
-		id := b.nextID
-		b.nextID++
+		if s.NumCells() == 0 {
+			return fmt.Errorf("%w: record %d is empty", ErrBadFile, i)
+		}
+		if s.Dim != b.cfg.Dim {
+			return fmt.Errorf("%w: record %d dimension %d != base dimension %d", ErrBadFile, i, s.Dim, b.cfg.Dim)
+		}
+		id := int64(len(entries))
 		s.ID = id
 		e := &Entry{ID: id, Summary: s, MBR: s.MBR(), Features: s.Features(), Bytes: len(blob)}
-		if err := b.loc.Insert(id, e.MBR); err != nil {
-			b.mu.Unlock()
-			return err
+		if e.MBR.IsEmpty() {
+			return fmt.Errorf("%w: record %d has an invalid MBR", ErrBadFile, i)
 		}
-		b.feat.Insert(id, e.Features.Vector())
-		b.entries[id] = e
-		b.order = append(b.order, id)
-		b.bytes += e.Bytes
-		b.mu.Unlock()
+		entries = append(entries, e)
+		bytes += len(blob)
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.count != 0 {
+		return fmt.Errorf("archive: Load requires an empty base")
+	}
+	b.delta = entries
+	b.count = len(entries)
+	b.bytes = bytes
+	b.nextID = int64(len(entries))
+	b.snap = nil
+	if err := b.rebuildLocked(); err != nil {
+		// Keep the "corrupt file leaves the base empty" guarantee.
+		b.delta, b.count, b.bytes, b.nextID = nil, 0, 0, 0
+		b.frozen = newGeneration(b.cfg.Dim)
+		return err
 	}
 	return nil
 }

@@ -1,0 +1,156 @@
+package archive
+
+import (
+	"streamsum/internal/featidx"
+	"streamsum/internal/geom"
+	"streamsum/internal/rtree"
+)
+
+// Snapshot is an immutable point-in-time view of the pattern base: the
+// frozen generation's indices (shared, never mutated after publication),
+// a private copy of the delta, and the tombstone set as of the snapshot.
+// Any number of goroutines may search one snapshot concurrently, and no
+// snapshot operation ever takes the base lock — matching queries run
+// entirely off the archiver's append path.
+//
+// A snapshot does not see mutations made after it was taken; pin one
+// snapshot per query when the filter phases must agree on a single
+// archive state, or go through the Base convenience wrappers when
+// per-call freshness is enough.
+type Snapshot struct {
+	gen   *generation
+	delta []*Entry
+	dead  map[int64]struct{}
+	count int
+	bytes int
+}
+
+// Snapshot returns a read-only view of the base's current contents. The
+// view is cached: repeated calls between mutations return the same
+// Snapshot, and taking one after a mutation costs O(delta + tombstones)
+// — the frozen generation is shared, not copied.
+func (b *Base) Snapshot() *Snapshot {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.snap != nil {
+		return b.snap
+	}
+	s := &Snapshot{gen: b.frozen, count: b.count, bytes: b.bytes}
+	if len(b.delta) > 0 {
+		s.delta = append(make([]*Entry, 0, len(b.delta)), b.delta...)
+	}
+	if len(b.dead) > 0 {
+		s.dead = make(map[int64]struct{}, len(b.dead))
+		for id := range b.dead {
+			s.dead[id] = struct{}{}
+		}
+	}
+	b.snap = s
+	return s
+}
+
+// Len returns the number of archived clusters in the snapshot.
+func (s *Snapshot) Len() int { return s.count }
+
+// Bytes returns the total encoded size of the snapshot's summaries.
+func (s *Snapshot) Bytes() int { return s.bytes }
+
+func (s *Snapshot) isDead(id int64) bool {
+	_, gone := s.dead[id]
+	return gone
+}
+
+// Get returns the entry with the given id, or nil.
+func (s *Snapshot) Get(id int64) *Entry {
+	if s.isDead(id) {
+		return nil
+	}
+	if e, ok := s.gen.entries[id]; ok {
+		return e
+	}
+	for _, e := range s.delta {
+		if e.ID == id {
+			return e
+		}
+	}
+	return nil
+}
+
+// SearchLocation visits entries whose MBR intersects the query box: the
+// frozen generation via its R-tree, then the delta by linear scan (the
+// delta is bounded by the base's fold threshold). Iteration stops early
+// if visit returns false.
+func (s *Snapshot) SearchLocation(q geom.MBR, visit func(*Entry) bool) {
+	stopped := false
+	s.gen.loc.SearchIntersect(q, func(it rtree.Item) bool {
+		if s.isDead(it.ID) {
+			return true
+		}
+		if !visit(s.gen.entries[it.ID]) {
+			stopped = true
+			return false
+		}
+		return true
+	})
+	if stopped {
+		return
+	}
+	for _, e := range s.delta {
+		if e.MBR.Intersects(q) && !visit(e) {
+			return
+		}
+	}
+}
+
+// SearchFeatures visits entries whose feature vector lies inside the
+// inclusive hyper-rectangle [lo, hi]: the frozen generation via its 4-D
+// grid index, then the delta by linear scan. Iteration stops early if
+// visit returns false.
+func (s *Snapshot) SearchFeatures(lo, hi [4]float64, visit func(*Entry) bool) {
+	stopped := false
+	s.gen.feat.Search(lo, hi, func(fe featidx.Entry) bool {
+		if s.isDead(fe.ID) {
+			return true
+		}
+		if !visit(s.gen.entries[fe.ID]) {
+			stopped = true
+			return false
+		}
+		return true
+	})
+	if stopped {
+		return
+	}
+	for _, e := range s.delta {
+		v := e.Features.Vector()
+		in := true
+		for d := 0; d < 4; d++ {
+			if v[d] < lo[d] || v[d] > hi[d] {
+				in = false
+				break
+			}
+		}
+		if in && !visit(e) {
+			return
+		}
+	}
+}
+
+// All visits every entry in FIFO order: the frozen generation's order
+// minus tombstones, then the delta (every delta entry postdates every
+// frozen one). Iteration stops early if visit returns false.
+func (s *Snapshot) All(visit func(*Entry) bool) {
+	for _, id := range s.gen.order {
+		if s.isDead(id) {
+			continue
+		}
+		if !visit(s.gen.entries[id]) {
+			return
+		}
+	}
+	for _, e := range s.delta {
+		if !visit(e) {
+			return
+		}
+	}
+}

@@ -9,6 +9,13 @@
 // logarithmic: a relative range [f/(1+b), f·(1+b)] spans a bounded number
 // of log-scale buckets regardless of f's magnitude. Each dimension is
 // bucketed at a fixed number of buckets per octave.
+//
+// Read-only traversal contract: an Index is not internally synchronized,
+// but Search never mutates the grid, so any number of goroutines may
+// search one index concurrently provided no Insert or Remove runs during
+// the searches. internal/archive relies on exactly this: it publishes
+// indices only inside frozen, immutable generations and mutates them
+// never — writers build a replacement index instead.
 package featidx
 
 import (

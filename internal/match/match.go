@@ -1,23 +1,3 @@
-// Package match implements the Pattern Analyzer (§7.2): execution of
-// cluster matching queries (Figure 3) against the pattern base.
-//
-// The distance metric is the paper's customizable form
-//
-//	Dist(Ca, Cb) = ps·Dist_location + Σ wi·Dist_nlf_i(Ca, Cb)
-//
-// with ps ∈ {0,1} selecting position-sensitive matching, Dist_location ∈
-// {0,1} indicating MBR overlap, and four weighted non-locational feature
-// distances (volume, status count, average density, average connectivity),
-// each |x−f| / min(x,f) clamped to [0,1] as in the paper's candidate-search
-// example.
-//
-// Query execution is filter-and-refine: the filter phase probes the
-// pattern base's locational (R-tree) or non-locational (4-D grid) index
-// with ranges derived from the distance threshold, evaluates the exact
-// cluster-level feature distance on the returned candidates, and only the
-// survivors reach the refine phase — the grid-cell-level match, under the
-// best alignment found by an A*-style anytime search (position-insensitive
-// case) or the identity alignment (position-sensitive case).
 package match
 
 import (
@@ -26,8 +6,20 @@ import (
 	"sort"
 
 	"streamsum/internal/archive"
+	"streamsum/internal/geom"
+	"streamsum/internal/par"
 	"streamsum/internal/sgs"
 )
+
+// Source is the read view a matching query executes against. Both
+// *archive.Base (every index probe pins a fresh snapshot) and
+// *archive.Snapshot (one point-in-time view across the whole query)
+// satisfy it; pass a snapshot when the query must not observe concurrent
+// archiving.
+type Source interface {
+	SearchLocation(q geom.MBR, visit func(*archive.Entry) bool)
+	SearchFeatures(lo, hi [4]float64, visit func(*archive.Entry) bool)
+}
 
 // Weights configures the distance metric. The four feature weights must be
 // non-negative and sum to 1.
@@ -74,6 +66,11 @@ type Query struct {
 	// AlignBudget bounds the number of alignments evaluated by the anytime
 	// search in the position-insensitive refine phase (default 64).
 	AlignBudget int
+	// Workers bounds the refine phase's parallel fan-out across
+	// candidates: <= 0 means one worker per available CPU, 1 forces the
+	// fully sequential pipeline. Results are byte-identical at every
+	// setting.
+	Workers int
 }
 
 // Match is one result of a matching query.
@@ -91,9 +88,10 @@ type Stats struct {
 	Refined         int
 }
 
-// Run executes the query against the pattern base and returns matches
-// sorted by ascending distance.
-func Run(b *archive.Base, q Query) ([]Match, Stats, error) {
+// Run executes the query against src and returns matches sorted by
+// ascending distance. The refine phase fans out across Query.Workers
+// goroutines; results are byte-identical at every worker count.
+func Run(src Source, q Query) ([]Match, Stats, error) {
 	var st Stats
 	if q.Target == nil || q.Target.NumCells() == 0 {
 		return nil, st, fmt.Errorf("match: empty target")
@@ -116,18 +114,18 @@ func Run(b *archive.Base, q Query) ([]Match, Stats, error) {
 	targetFeat := q.Target.Features().Vector()
 	targetMBR := q.Target.MBR()
 
-	// --- Filter phase ------------------------------------------------------
+	// --- Phase 1: filter — index probe for candidates ---------------------
 	var candidates []*archive.Entry
 	if w.PositionSensitive {
 		// Non-overlapping clusters have Dist_location = 1 ≥ any threshold
 		// < 1, so the R-tree overlap probe is exact for the location term.
-		b.SearchLocation(targetMBR, func(e *archive.Entry) bool {
+		src.SearchLocation(targetMBR, func(e *archive.Entry) bool {
 			candidates = append(candidates, e)
 			return true
 		})
 	} else {
 		lo, hi := FeatureRanges(targetFeat, w, q.Threshold)
-		b.SearchFeatures(lo, hi, func(e *archive.Entry) bool {
+		src.SearchFeatures(lo, hi, func(e *archive.Entry) bool {
 			candidates = append(candidates, e)
 			return true
 		})
@@ -136,22 +134,31 @@ func Run(b *archive.Base, q Query) ([]Match, Stats, error) {
 
 	// Exact cluster-level feature distance on the candidates; only those
 	// within the threshold proceed to the expensive grid-level match.
-	var matches []Match
+	refine := candidates[:0]
 	for _, e := range candidates {
-		fd := FeatureDistance(targetFeat, e.Features.Vector(), w)
-		if fd > q.Threshold {
-			continue
+		if FeatureDistance(targetFeat, e.Features.Vector(), w) <= q.Threshold {
+			refine = append(refine, e)
 		}
-		st.Refined++
-		// --- Refine phase: grid-cell-level cluster match ----------------
-		var d float64
+	}
+	st.Refined = len(refine)
+
+	// --- Phase 2: refine — parallel grid-cell-level cluster match ---------
+	// Candidates are independent: each worker reads the shared immutable
+	// summaries and writes only its own distance slot.
+	dists := make([]float64, len(refine))
+	par.For(q.Workers, len(refine), func(i int) {
 		if w.PositionSensitive {
-			d = CellDistance(q.Target, e.Summary, zeroAlign(q.Target.Dim))
+			dists[i] = CellDistance(q.Target, refine[i].Summary, zeroAlign(q.Target.Dim))
 		} else {
-			d, _ = BestAlignment(q.Target, e.Summary, budget)
+			dists[i], _ = BestAlignment(q.Target, refine[i].Summary, budget)
 		}
-		if d <= q.Threshold {
-			matches = append(matches, Match{ID: e.ID, Distance: d, Entry: e})
+	})
+
+	// --- Phase 3: order — threshold, sort, top-k --------------------------
+	var matches []Match
+	for i, e := range refine {
+		if dists[i] <= q.Threshold {
+			matches = append(matches, Match{ID: e.ID, Distance: dists[i], Entry: e})
 		}
 	}
 	sort.Slice(matches, func(i, j int) bool {

@@ -45,8 +45,8 @@ type ClusterQuery struct {
 
 // MatchQuery is a parsed cluster matching query.
 type MatchQuery struct {
-	// Target names the to-be-matched cluster (an identifier the caller
-	// resolves, e.g. "input" or a cluster id).
+	// Target names the to-be-matched cluster: an identifier the caller
+	// resolves (e.g. "input") or an integer archive id (e.g. "17").
 	Target            string
 	Threshold         float64
 	Weights           [4]float64 // volume, status, density, connectivity
@@ -357,8 +357,18 @@ func (p *parser) parseMatch() (*MatchQuery, error) {
 			return nil, err
 		}
 	}
+	// The target is an identifier the caller resolves, or an integer
+	// archive id (how sgsd's /match endpoint names archived clusters).
+	// The id is stored in canonical form so "17.0" and "17" resolve the
+	// same downstream.
 	var err error
-	if q.Target, err = p.expectIdent(); err != nil {
+	if p.peek().kind == tokNumber {
+		v, err := p.expectInt()
+		if err != nil {
+			return nil, fmt.Errorf("query: cluster reference must be an identifier or integer id: %v", err)
+		}
+		q.Target = strconv.FormatInt(v, 10)
+	} else if q.Target, err = p.expectIdent(); err != nil {
 		return nil, err
 	}
 	if err := p.expectKeyword("SELECT"); err != nil {

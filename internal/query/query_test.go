@@ -90,6 +90,25 @@ func TestParseMatchFull(t *testing.T) {
 	}
 }
 
+func TestParseMatchNumericTarget(t *testing.T) {
+	// An integer archive id is a valid cluster reference (how sgsd's
+	// /match endpoint names archived clusters).
+	q, err := ParseMatch(`GIVEN DensityBasedCluster 17
+		SELECT DensityBasedClusters FROM History
+		WHERE Distance <= 0.25 LIMIT 5`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Target != "17" || q.Threshold != 0.25 || q.Limit != 5 {
+		t.Fatalf("parsed %+v", q)
+	}
+	// A fractional reference is neither identifier nor id.
+	if _, err := ParseMatch(`GIVEN DensityBasedCluster 1.5
+		SELECT DensityBasedClusters FROM History WHERE Distance <= 0.2`); err == nil {
+		t.Error("fractional cluster reference accepted")
+	}
+}
+
 func TestParseMatchErrors(t *testing.T) {
 	bad := []string{
 		"GIVEN DensityBasedCluster input SELECT DensityBasedClusters FROM History WHERE Distance <= 2",

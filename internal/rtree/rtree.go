@@ -3,6 +3,13 @@
 // clusters are indexed by the minimum bounding rectangles of their SGS so
 // that position-sensitive matching queries can retrieve overlap candidates
 // without scanning the archive.
+//
+// Read-only traversal contract: a Tree is not internally synchronized,
+// but SearchIntersect never mutates any node, so any number of
+// goroutines may search one tree concurrently provided no Insert or
+// Delete runs during the searches. internal/archive relies on exactly
+// this: it publishes trees only inside frozen, immutable generations and
+// mutates them never — writers build a replacement tree instead.
 package rtree
 
 import (

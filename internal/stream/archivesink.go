@@ -1,0 +1,36 @@
+package stream
+
+import (
+	"streamsum/internal/archive"
+	"streamsum/internal/core"
+	"streamsum/internal/sgs"
+)
+
+// ArchiveWindows returns an OnWindow callback that archives every
+// summary of every completed window into one shared pattern base — the
+// standard wiring for "one pattern base fed by N shards". Each window is
+// appended with a single PutBatch (one base lock acquisition per window,
+// however many clusters it emitted), and because the base is
+// snapshot-isolated, analysts matching against it never stall the
+// shards' append path. When next is non-nil it is invoked after
+// archiving, preserving the Sharded executor's serialized consumer
+// contract.
+func ArchiveWindows(base *archive.Base, next func(shard int, w *core.WindowResult) error) func(int, *core.WindowResult) error {
+	return func(shard int, w *core.WindowResult) error {
+		sums := make([]*sgs.Summary, 0, len(w.Clusters))
+		for _, c := range w.Clusters {
+			if c.Summary != nil {
+				sums = append(sums, c.Summary)
+			}
+		}
+		if len(sums) > 0 {
+			if _, _, err := base.PutBatch(sums); err != nil {
+				return err
+			}
+		}
+		if next != nil {
+			return next(shard, w)
+		}
+		return nil
+	}
+}

@@ -41,6 +41,17 @@
 // state, merged in deterministic cluster order — the emitted windows are
 // byte-identical at every worker count.
 //
+// # Matching
+//
+// The pattern base is snapshot-isolated: matching queries (Match,
+// MatchQuery) execute against an immutable read-only view and never
+// block archiving, so they are safe from any number of goroutines
+// concurrently with ingestion — including N sharded engines feeding one
+// shared base. The matcher mirrors the output stage's structure: a
+// sequential index-probe filter phase, a parallel per-candidate refine
+// phase across Options.MatchWorkers goroutines, and a sequential
+// order/limit phase, with results byte-identical at every worker count.
+//
 // # Quick start
 //
 //	eng, _ := streamsum.New(streamsum.Options{
@@ -151,16 +162,26 @@ type Options struct {
 	// alike — the output stage runs whenever a window completes — and
 	// results are byte-identical at every setting.
 	EmitWorkers int
+	// MatchWorkers bounds the matching pipeline's parallel refine phase
+	// (the per-candidate grid-cell-level distance evaluations): <= 0
+	// means one worker per available CPU, 1 forces the fully sequential
+	// matcher. Results are byte-identical at every setting.
+	MatchWorkers int
 }
 
 // Engine is the end-to-end system of the paper's Figure 4: pattern
 // extractor + optional pattern archiver/base + pattern analyzer.
-// It is not safe for concurrent use except where noted (the pattern base
-// itself is concurrency-safe).
+// Ingestion (Push, PushBatch, Flush) is single-caller, but the pattern
+// base is snapshot-isolated: Match and MatchQuery are safe to call from
+// any number of goroutines concurrently with ingestion — queries run
+// against read-only snapshots and never block archiving.
 type Engine struct {
 	opts Options
 	proc stream.Processor
 	base *archive.Base
+	// sink archives one completed window into base (one PutBatch per
+	// window); nil when archiving is off or novelty filtering is on.
+	sink func(int, *core.WindowResult) error
 }
 
 // New creates an engine.
@@ -190,14 +211,20 @@ func New(opts Options) (*Engine, error) {
 	}
 	e := &Engine{opts: opts, proc: proc}
 	if opts.Archive != nil {
+		// Theta is passed through as configured: a Level or ByteBudget
+		// that demands compression without a valid compression rate is a
+		// misconfiguration archive.New reports, not one to paper over
+		// (NewFromQuery, whose query language cannot express Theta,
+		// defaults it explicitly instead).
 		ac := *opts.Archive
 		ac.Dim = opts.Dim
-		if (ac.Level > 0 || ac.ByteBudget > 0) && ac.Theta < 2 {
-			ac.Theta = 2
-		}
 		e.base, err = archive.New(ac)
 		if err != nil {
 			return nil, err
+		}
+		if opts.ArchiveNovelty <= 0 {
+			// The same window-per-PutBatch wiring sharded consumers use.
+			e.sink = stream.ArchiveWindows(e.base, nil)
 		}
 	}
 	return e, nil
@@ -206,8 +233,8 @@ func New(opts Options) (*Engine, error) {
 // OptionsFromQuery parses a DETECT query in the paper's query language
 // (Figure 2) into engine Options. dim supplies the tuple dimensionality,
 // which the query language leaves to the schema. Execution-side knobs the
-// language does not cover (Workers, EmitWorkers, Archive, ArchiveNovelty)
-// can be set on the returned Options before calling New.
+// language does not cover (Workers, EmitWorkers, MatchWorkers, Archive,
+// ArchiveNovelty) can be set on the returned Options before calling New.
 func OptionsFromQuery(q string, dim int) (Options, error) {
 	cq, err := query.ParseCluster(q)
 	if err != nil {
@@ -227,10 +254,24 @@ func OptionsFromQuery(q string, dim int) (Options, error) {
 // NewFromQuery creates an engine from a DETECT query in the paper's query
 // language (Figure 2). dim supplies the tuple dimensionality, which the
 // query language leaves to the schema. archiveOpts may be nil.
+//
+// The query language has no syntax for the archive's compression rate,
+// so when archiveOpts requests compression (Level > 0 or ByteBudget > 0)
+// without setting Theta, NewFromQuery defaults Theta to 2 (the minimum
+// valid rate); the caller's struct is not modified. The programmatic
+// path (New) performs no such defaulting — it surfaces archive.New's
+// validation error instead.
 func NewFromQuery(q string, dim int, archiveOpts *ArchiveOptions) (*Engine, error) {
 	opts, err := OptionsFromQuery(q, dim)
 	if err != nil {
 		return nil, err
+	}
+	if archiveOpts != nil {
+		ac := *archiveOpts
+		if (ac.Level > 0 || ac.ByteBudget > 0) && ac.Theta < 2 {
+			ac.Theta = 2
+		}
+		archiveOpts = &ac
 	}
 	opts.Archive = archiveOpts
 	return New(opts)
@@ -308,30 +349,36 @@ func (e *Engine) archiveWindow(w *WindowResult) error {
 	if e.base == nil {
 		return nil
 	}
-	for _, c := range w.Clusters {
-		if c.Summary == nil {
-			continue
-		}
-		if e.opts.ArchiveNovelty > 0 && e.base.Len() > 0 {
-			// Evolution-driven archiving: skip patterns already
-			// represented in the base within the novelty threshold.
-			ms, _, err := match.Run(e.base, match.Query{
-				Target:    c.Summary,
-				Threshold: e.opts.ArchiveNovelty,
-				Limit:     1,
-			})
-			if err != nil {
-				return err
-			}
-			if len(ms) > 0 {
+	if e.opts.ArchiveNovelty > 0 {
+		// Evolution-driven archiving: skip patterns already represented
+		// in the base within the novelty threshold. Each Put must be
+		// visible to the next summary's novelty probe, so this path
+		// stays per-cluster.
+		for _, c := range w.Clusters {
+			if c.Summary == nil {
 				continue
 			}
+			if e.base.Len() > 0 {
+				ms, _, err := match.Run(e.base, match.Query{
+					Target:    c.Summary,
+					Threshold: e.opts.ArchiveNovelty,
+					Limit:     1,
+					Workers:   e.opts.MatchWorkers,
+				})
+				if err != nil {
+					return err
+				}
+				if len(ms) > 0 {
+					continue
+				}
+			}
+			if _, _, err := e.base.Put(c.Summary); err != nil {
+				return err
+			}
 		}
-		if _, _, err := e.base.Put(c.Summary); err != nil {
-			return err
-		}
+		return nil
 	}
-	return nil
+	return e.sink(0, w)
 }
 
 // PatternBase returns the engine's archive, or nil if archiving is
@@ -348,28 +395,41 @@ type MatchOptions struct {
 	Weights *Weights
 	// Limit, when positive, returns only the closest Limit matches.
 	Limit int
+	// Workers overrides the engine's Options.MatchWorkers for this query
+	// when non-zero. Results are byte-identical at every setting.
+	Workers int
 }
 
 // Match runs a cluster matching query against the engine's pattern base.
+// The query executes against a read-only snapshot, so Match is safe from
+// any goroutine concurrently with ingestion and never blocks archiving;
+// its refine phase fans out across Options.MatchWorkers goroutines.
 func (e *Engine) Match(opts MatchOptions) ([]Match, MatchStats, error) {
 	if e.base == nil {
 		return nil, MatchStats{}, fmt.Errorf("streamsum: engine has no pattern base (set Options.Archive)")
 	}
-	return match.Run(e.base, match.Query{
+	workers := opts.Workers
+	if workers == 0 {
+		workers = e.opts.MatchWorkers
+	}
+	return match.Run(e.base.Snapshot(), match.Query{
 		Target:    opts.Target,
 		Threshold: opts.Threshold,
 		Weights:   opts.Weights,
 		Limit:     opts.Limit,
+		Workers:   workers,
 	})
 }
 
-// MatchQuery runs a matching query written in the paper's query language
-// (Figure 3) with the given target summary bound to the query's cluster
-// reference.
-func (e *Engine) MatchQuery(q string, target *Summary) ([]Match, MatchStats, error) {
+// MatchOptionsFromQuery parses a matching query in the paper's query
+// language (Figure 3) into MatchOptions plus the query's cluster
+// reference — the GIVEN identifier (e.g. "input") or integer archive id,
+// which the caller resolves to a Summary and assigns to the returned
+// options' Target before calling Match.
+func MatchOptionsFromQuery(q string) (MatchOptions, string, error) {
 	mq, err := query.ParseMatch(q)
 	if err != nil {
-		return nil, MatchStats{}, err
+		return MatchOptions{}, "", err
 	}
 	var w *Weights
 	if mq.HasWeights || mq.PositionSensitive {
@@ -381,12 +441,23 @@ func (e *Engine) MatchQuery(q string, target *Summary) ([]Match, MatchStats, err
 		ws.PositionSensitive = mq.PositionSensitive
 		w = &ws
 	}
-	return e.Match(MatchOptions{
-		Target:    target,
+	return MatchOptions{
 		Threshold: mq.Threshold,
 		Weights:   w,
 		Limit:     mq.Limit,
-	})
+	}, mq.Target, nil
+}
+
+// MatchQuery runs a matching query written in the paper's query language
+// (Figure 3) with the given target summary bound to the query's cluster
+// reference. Like Match, it is safe to call concurrently with ingestion.
+func (e *Engine) MatchQuery(q string, target *Summary) ([]Match, MatchStats, error) {
+	mo, _, err := MatchOptionsFromQuery(q)
+	if err != nil {
+		return nil, MatchStats{}, err
+	}
+	mo.Target = target
+	return e.Match(mo)
 }
 
 // StaticCluster is one cluster found by SummarizeStatic.

@@ -2,6 +2,7 @@ package streamsum
 
 import (
 	"math/rand"
+	"reflect"
 	"testing"
 
 	"streamsum/internal/gen"
@@ -218,5 +219,102 @@ func TestFlushArchives(t *testing.T) {
 	}
 	if eng.PatternBase().Len() != len(w.Clusters) {
 		t.Fatal("flush did not archive")
+	}
+}
+
+// TestNewArchiveThetaValidation: New must surface archive.New's
+// validation error when Level/ByteBudget demand compression without a
+// valid Theta, instead of silently coercing Theta to 2.
+func TestNewArchiveThetaValidation(t *testing.T) {
+	base := Options{Dim: 2, ThetaR: 1.0, ThetaC: 4, Win: 1000, Slide: 500}
+
+	o := base
+	o.Archive = &ArchiveOptions{Level: 1}
+	if _, err := New(o); err == nil {
+		t.Fatal("Level without Theta accepted")
+	}
+	o = base
+	o.Archive = &ArchiveOptions{ByteBudget: 100}
+	if _, err := New(o); err == nil {
+		t.Fatal("ByteBudget without Theta accepted")
+	}
+	o = base
+	o.Archive = &ArchiveOptions{Level: 1, Theta: 3}
+	if _, err := New(o); err != nil {
+		t.Fatalf("valid compression config rejected: %v", err)
+	}
+}
+
+// TestNewFromQueryThetaDefault: the query-language path defaults Theta
+// explicitly (the language cannot express it) without mutating the
+// caller's struct.
+func TestNewFromQueryThetaDefault(t *testing.T) {
+	q := `DETECT DensityBasedClusters f+s FROM s
+		USING theta_range = 1.0 AND theta_cnt = 4
+		IN WINDOWS WITH win = 800 AND slide = 400`
+	ao := &ArchiveOptions{Level: 1}
+	eng, err := NewFromQuery(q, 2, ao)
+	if err != nil {
+		t.Fatalf("NewFromQuery did not default Theta: %v", err)
+	}
+	if got := eng.PatternBase().Config().Theta; got != 2 {
+		t.Fatalf("defaulted Theta = %d, want 2", got)
+	}
+	if ao.Theta != 0 {
+		t.Fatalf("caller's ArchiveOptions mutated: Theta = %d", ao.Theta)
+	}
+	// An explicit Theta passes through untouched.
+	eng2, err := NewFromQuery(q, 2, &ArchiveOptions{Level: 1, Theta: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := eng2.PatternBase().Config().Theta; got != 4 {
+		t.Fatalf("explicit Theta = %d, want 4", got)
+	}
+}
+
+// TestEngineMatchWorkersDeterminism: facade-level acceptance check that
+// Match results are byte-identical at MatchWorkers 1/2/8.
+func TestEngineMatchWorkersDeterminism(t *testing.T) {
+	eng, err := New(Options{
+		Dim: 2, ThetaR: 1.0, ThetaC: 4, Win: 1000, Slide: 500,
+		Archive: &ArchiveOptions{},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := gen.GMTI(gen.GMTIConfig{Seed: 5}, 5000)
+	var target *Summary
+	for _, p := range b.Points {
+		results, err := eng.Push(p, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, w := range results {
+			for _, c := range w.Clusters {
+				if c.Summary != nil {
+					target = c.Summary
+				}
+			}
+		}
+	}
+	if target == nil || eng.PatternBase().Len() == 0 {
+		t.Fatal("no archived clusters")
+	}
+	ref, refStats, err := eng.Match(MatchOptions{Target: target, Threshold: 1, Limit: 10, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ref) == 0 {
+		t.Fatal("no matches")
+	}
+	for _, workers := range []int{2, 8} {
+		got, gotStats, err := eng.Match(MatchOptions{Target: target, Threshold: 1, Limit: 10, Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(ref, got) || refStats != gotStats {
+			t.Fatalf("MatchWorkers %d diverged from sequential", workers)
+		}
 	}
 }
