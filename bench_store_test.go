@@ -1,0 +1,64 @@
+// Disk-tier benchmarks: matching latency when the archived history
+// lives in on-disk segments rather than RAM. A recorded baseline lives
+// in BENCH_store.json.
+//
+//	BenchmarkFilterSegments — one matching query against a store-backed
+//	                          base split across many segments, swept over
+//	                          Query.Workers (the segment-parallel filter
+//	                          plus lazy per-candidate refine reads)
+package streamsum
+
+import (
+	"fmt"
+	"testing"
+
+	"streamsum/internal/archive"
+	"streamsum/internal/match"
+)
+
+// BenchmarkFilterSegments mirrors BenchmarkMatchRun but over a base
+// whose memory tier is capped at a fraction of the history, so the
+// filter phase probes one R-tree/feature-grid pair per segment (in
+// parallel across workers) and the refine phase preads candidate
+// summaries from disk. StoreSegmentBytes 1 pins the segment layout by
+// disabling merges. Compare against BenchmarkMatchRun at equal workers
+// for the cost of serving the same query from disk instead of RAM.
+func BenchmarkFilterSegments(b *testing.B) {
+	sums := matchFixture(b, matchBaseSize)
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers%d", workers), func(b *testing.B) {
+			base, err := archive.New(archive.Config{
+				Dim:               2,
+				StorePath:         b.TempDir(),
+				MaxMemBytes:       16 << 10,
+				StoreSegmentBytes: 1,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer base.Close()
+			for _, s := range sums {
+				if _, ok, err := base.Put(s); err != nil || !ok {
+					b.Fatalf("ok=%v err=%v", ok, err)
+				}
+			}
+			ts := base.TierStats()
+			if ts.Segments < 2 || ts.SegEntries == 0 {
+				b.Fatalf("fixture stayed in memory: %+v", ts)
+			}
+			snap := base.Snapshot()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				q := match.Query{
+					Target: sums[i%len(sums)], Threshold: matchThreshold,
+					Limit: 5, Workers: workers,
+				}
+				if _, _, err := match.Run(snap, q); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(ts.Segments), "segments")
+		})
+	}
+}

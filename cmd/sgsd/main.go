@@ -11,7 +11,12 @@
 //	sgsd -query "..." -source csv -csv data.csv -cols 0,1,2,3 -tscol 4
 //
 // With -archive FILE, every emitted summary is archived and the pattern
-// base is saved on exit (inspect it with sgstool).
+// base is saved on exit (inspect it with sgstool). With -store DIR the
+// pattern base gains a disk tier: summaries evicted from memory (cap it
+// with -store-mem) demote into immutable on-disk segments that stay
+// matchable, so /match queries span the whole stream history while
+// resident memory stays bounded; on clean exit the memory tier is
+// flushed to the store, which then survives restarts.
 //
 // With -batch N (N = the query's slide is a good choice), tuples are fed
 // through the engine's batched ingest path, whose neighbor-discovery phase
@@ -31,6 +36,7 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -85,8 +91,10 @@ func main() {
 	workers := flag.Int("workers", 0, "parallel neighbor-discovery workers for batched ingest (0 = one per CPU, 1 = sequential)")
 	batch := flag.Int("batch", 0, "ingest batch size; 0 pushes tuple-by-tuple, otherwise tuples are fed through PushBatch in batches of this size (the query's slide is a good value)")
 	emitWorkers := flag.Int("emit-workers", 0, "parallel output-stage workers for per-cluster summary construction (0 = one per CPU, 1 = sequential); windows are byte-identical at every setting")
-	matchWorkers := flag.Int("match-workers", 0, "parallel matching workers for the refine phase of /match queries (0 = one per CPU, 1 = sequential); results are byte-identical at every setting")
+	matchWorkers := flag.Int("match-workers", 0, "parallel matching workers for the filter and refine phases of /match queries (0 = one per CPU, 1 = sequential); results are byte-identical at every setting")
 	httpAddr := flag.String("http", "", "serve matching queries over HTTP on this address (e.g. :8080) concurrently with ingestion; implies archiving")
+	storePath := flag.String("store", "", "attach a disk tier to the pattern base under this directory; implies archiving. Evicted summaries demote into on-disk segments (inspect with sgstool inspect), stay matchable, and survive restarts — the memory tier is flushed to the store on clean exit")
+	storeMem := flag.Int("store-mem", 0, "memory-tier byte budget for the pattern base (requires -store); overflow demotes the oldest summaries to disk. 0 = no byte bound")
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(), `sgsd runs a continuous clustering query (the paper's Figure 2) over a
 stream and emits one JSON line per window with the clusters in both
@@ -96,7 +104,11 @@ The stream comes from a built-in synthetic workload (-source stt or gmti)
 or a CSV file (-source csv with -csv, -cols, -tscol). With -archive FILE
 every emitted summary is archived and the pattern base is saved on exit
 (inspect it with sgstool). With -log FILE summaries are appended to a
-crash-safe log as windows complete.
+crash-safe log as windows complete. With -store DIR the pattern base
+tiers to disk: summaries evicted from the in-memory tier (bounded by
+-store-mem bytes) demote into on-disk segments that remain fully
+matchable, so the archived history outgrows RAM while /match latency
+and resident memory stay flat (inspect segments with sgstool inspect).
 
 With -http ADDR sgsd additionally serves cluster matching queries (the
 paper's Figure 3 syntax, GIVEN target = an archive id) over HTTP while
@@ -166,12 +178,14 @@ Flags:
 	if err != nil {
 		log.Fatal(err)
 	}
-	if *archivePath != "" || *httpAddr != "" {
+	if *archivePath != "" || *httpAddr != "" || *storePath != "" {
 		opts.Archive = &streamsum.ArchiveOptions{}
 	}
 	opts.Workers = *workers
 	opts.EmitWorkers = *emitWorkers
 	opts.MatchWorkers = *matchWorkers
+	opts.StorePath = *storePath
+	opts.StoreMaxMemBytes = *storeMem
 	eng, err := streamsum.New(opts)
 	if err != nil {
 		log.Fatal(err)
@@ -312,6 +326,29 @@ Flags:
 	}
 	emit(w)
 
+	// Shutdown ordering: drain the HTTP server before touching the
+	// pattern base's persistence. A /match in flight at interrupt time
+	// holds a snapshot into the base (and, with -store, into its segment
+	// files), so the final Save and the store teardown must wait until
+	// Shutdown has returned — closing first would race the last queries
+	// against the final flush. The drain has no deadline (a deadline
+	// that fires would re-create exactly that race); a second interrupt
+	// force-exits without the final store flush.
+	if srv != nil {
+		fmt.Fprintf(os.Stderr, "sgsd: stream complete (%d tuples); still serving matching queries (interrupt to exit)\n", tuples)
+		sig := make(chan os.Signal, 2)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		<-sig
+		go func() {
+			<-sig
+			fmt.Fprintln(os.Stderr, "sgsd: second interrupt; exiting without draining or flushing the store")
+			os.Exit(1)
+		}()
+		if err := srv.Shutdown(context.Background()); err != nil {
+			fmt.Fprintf(os.Stderr, "sgsd: http drain: %v\n", err)
+		}
+	}
+
 	if *archivePath != "" {
 		f, err := os.Create(*archivePath)
 		if err != nil {
@@ -328,12 +365,16 @@ Flags:
 			float64(eng.PatternBase().Bytes())/1024)
 	}
 
-	if srv != nil {
-		fmt.Fprintf(os.Stderr, "sgsd: stream complete (%d tuples); still serving matching queries (interrupt to exit)\n", tuples)
-		sig := make(chan os.Signal, 1)
-		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
-		<-sig
-		_ = srv.Close()
+	// With -store this demotes the memory tier as one final segment and
+	// stops the compactor; the store directory is then a complete record
+	// of the archived history.
+	if err := eng.Close(); err != nil {
+		log.Fatal(err)
+	}
+	if *storePath != "" {
+		ts := eng.PatternBase().TierStats()
+		fmt.Fprintf(os.Stderr, "sgsd: store %s holds %d summaries in %d segments (%.1f KB)\n",
+			*storePath, ts.SegEntries, ts.Segments, float64(ts.SegBytes)/1024)
 	}
 }
 
@@ -409,14 +450,23 @@ func matchHandler(eng *streamsum.Engine) http.HandlerFunc {
 	}
 }
 
-// statsHandler reports the pattern base's current size.
+// statsHandler reports the pattern base's current size, split across
+// the memory and disk tiers.
 func statsHandler(eng *streamsum.Engine) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		base := eng.PatternBase()
+		ts := base.TierStats()
 		w.Header().Set("Content-Type", "application/json")
-		_ = json.NewEncoder(w).Encode(map[string]int{
-			"clusters": base.Len(),
-			"bytes":    base.Bytes(),
+		_ = json.NewEncoder(w).Encode(map[string]any{
+			"clusters":            base.Len(),
+			"bytes":               base.Bytes(),
+			"mem_clusters":        ts.MemEntries,
+			"mem_bytes":           ts.MemBytes,
+			"segments":            ts.Segments,
+			"segment_clusters":    ts.SegEntries,
+			"segment_bytes":       ts.SegBytes,
+			"segment_dead":        ts.SegDead,
+			"segment_compactions": ts.Compactions,
 		})
 	}
 }

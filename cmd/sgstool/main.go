@@ -1,5 +1,5 @@
 // Command sgstool inspects pattern-base files written by sgsd or the
-// archive API.
+// archive API, and disk-tier store directories written with sgsd -store.
 //
 // Usage:
 //
@@ -9,9 +9,13 @@
 //	sgstool match base.sgsb -id 3 -threshold 0.3 -limit 5
 //	                                    # match one archived cluster
 //	                                    # against the rest of the base
+//	sgstool inspect store.dir           # per-segment stats of a disk tier
+//	sgstool compact store.dir           # merge undersized segments, drop
+//	                                    # tombstoned summaries
 //
-// All subcommands read through one pattern-base snapshot, the same
-// read-only view matching queries use against a live archiver.
+// File subcommands read through one pattern-base snapshot, the same
+// read-only view matching queries use against a live archiver; inspect
+// reads the segment footers only (no summary blobs are decoded).
 package main
 
 import (
@@ -23,11 +27,12 @@ import (
 
 	"streamsum/internal/archive"
 	"streamsum/internal/match"
+	"streamsum/internal/segstore"
 )
 
 func main() {
 	if len(os.Args) < 3 {
-		fmt.Fprintln(os.Stderr, "usage: sgstool <list|show|stats|match> <file> [flags]")
+		fmt.Fprintln(os.Stderr, "usage: sgstool <list|show|stats|match|inspect|compact> <file|storedir> [flags]")
 		os.Exit(2)
 	}
 	cmd, path := os.Args[1], os.Args[2]
@@ -35,9 +40,17 @@ func main() {
 	id := fs.Int64("id", 0, "archive id (show, match)")
 	threshold := fs.Float64("threshold", 0.3, "distance threshold (match)")
 	limit := fs.Int("limit", 5, "max matches (match)")
-	matchWorkers := fs.Int("match-workers", 0, "parallel matching workers for the refine phase (0 = one per CPU, 1 = sequential)")
-	dim := fs.Int("dim", 0, "data dimensionality (default: taken from the first record)")
+	matchWorkers := fs.Int("match-workers", 0, "parallel matching workers for the filter and refine phases (0 = one per CPU, 1 = sequential)")
+	dim := fs.Int("dim", 0, "data dimensionality (default: taken from the first record; inspect/compact probe 2..8)")
 	_ = fs.Parse(os.Args[3:])
+
+	switch cmd {
+	case "inspect", "compact":
+		if err := storeCmd(cmd, path, *dim); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 
 	base, err := load(path, *dim)
 	if err != nil {
@@ -118,6 +131,84 @@ func main() {
 		}
 	default:
 		log.Fatalf("sgstool: unknown subcommand %q", cmd)
+	}
+}
+
+// storeCmd handles the disk-tier subcommands. The store records its
+// dimensionality in the manifest, so opening probes 2..8 unless -dim
+// pins it.
+func storeCmd(cmd, dir string, dim int) error {
+	st, err := openStore(dir, dim)
+	if err != nil {
+		return err
+	}
+	defer st.Close()
+	switch cmd {
+	case "inspect":
+		printStore(st)
+	case "compact":
+		before := st.Stats()
+		if err := st.CompactNow(); err != nil {
+			return err
+		}
+		after := st.Stats()
+		fmt.Printf("compacted: %d -> %d segments, %d -> %d records, %.1f -> %.1f KB, %d tombstones dropped\n",
+			before.Segments, after.Segments, before.Records, after.Records,
+			float64(before.Bytes)/1024, float64(after.Bytes)/1024,
+			before.Tombstones-after.Tombstones)
+	}
+	return nil
+}
+
+func openStore(dir string, dim int) (*segstore.Store, error) {
+	// segstore.Open creates missing directories (it serves writers); a
+	// read-only tool must not turn a typo into a fresh empty store.
+	st, err := os.Stat(dir)
+	if err != nil {
+		return nil, fmt.Errorf("sgstool: %v", err)
+	}
+	if !st.IsDir() {
+		return nil, fmt.Errorf("sgstool: %s is not a store directory", dir)
+	}
+	try := func(d int) (*segstore.Store, error) {
+		return segstore.Open(dir, segstore.Options{Dim: d, NoBackgroundCompaction: true})
+	}
+	if dim != 0 {
+		return try(dim)
+	}
+	for d := 2; d <= 8; d++ {
+		if st, err := try(d); err == nil {
+			return st, nil
+		}
+	}
+	return nil, fmt.Errorf("sgstool: could not determine store dimensionality; pass -dim")
+}
+
+func printStore(st *segstore.Store) {
+	s := st.Stats()
+	fmt.Printf("segments: %d  records: %d live / %d total  bytes: %.1f KB live / %.1f KB total  tombstones: %d\n",
+		s.Segments, s.LiveRecords, s.Records,
+		float64(s.LiveBytes)/1024, float64(s.Bytes)/1024, s.Tombstones)
+	v := st.View()
+	fmt.Printf("%-24s %8s %8s %10s %10s\n", "segment", "records", "dead", "bytes", "ids")
+	for _, seg := range v.Segments() {
+		recs := seg.Records()
+		dead, bytes := 0, 0
+		lo, hi := int64(-1), int64(-1)
+		for _, r := range recs {
+			bytes += int(r.Len)
+			if v.Dead(r.ID) {
+				dead++
+			}
+			if lo < 0 || r.ID < lo {
+				lo = r.ID
+			}
+			if r.ID > hi {
+				hi = r.ID
+			}
+		}
+		fmt.Printf("%-24s %8d %8d %10d %4d..%-4d\n",
+			seg.Path(), len(recs), dead, bytes, lo, hi)
 	}
 }
 

@@ -8,6 +8,7 @@ import (
 	"streamsum/internal/featidx"
 	"streamsum/internal/geom"
 	"streamsum/internal/rtree"
+	"streamsum/internal/segstore"
 	"streamsum/internal/sgs"
 )
 
@@ -32,15 +33,40 @@ type Config struct {
 	// MinCells drops clusters whose SGS has fewer cells. 0 keeps all.
 	MinCells int
 	// Capacity bounds the number of archived clusters; once full, the
-	// oldest archived cluster is evicted (0 = unlimited).
+	// oldest archived cluster is evicted (0 = unlimited). With a disk
+	// tier attached (StorePath), eviction demotes to disk instead of
+	// deleting, so Capacity bounds the memory tier's entry count while
+	// the archived history keeps growing on disk.
 	Capacity int
 	// Seed makes sampling reproducible.
 	Seed int64
+
+	// StorePath, when non-empty, attaches a disk tier (internal/segstore)
+	// rooted at this directory: entries demoted from the memory tier are
+	// flushed as immutable on-disk segments and remain fully matchable.
+	// Reopening a base over an existing store resumes with the on-disk
+	// history visible and id assignment continuing past it.
+	StorePath string
+	// MaxMemBytes bounds the memory tier's encoded summary bytes; when a
+	// Put would exceed it, the oldest entries are demoted to the disk
+	// tier (requires StorePath). 0 means no byte bound.
+	MaxMemBytes int
+	// StoreSegmentBytes overrides the disk tier's compaction target
+	// segment size (0 = segstore default). Mostly for tests and
+	// benchmarks that need a specific segment layout.
+	StoreSegmentBytes int
 }
 
 // Entry is one archived cluster. Entries are immutable once archived:
 // they are shared by reference between the base and every snapshot, and
 // no field is ever modified after Put returns.
+//
+// For memory-tier entries Summary is always non-nil. Entries surfaced
+// from the disk tier by the filter-phase searches carry only the
+// footer-indexed features (ID, MBR, Features, Bytes) and a nil Summary;
+// call LoadSummary to read the cells from disk. Get and All-visited
+// entries follow the same contract, so code that never configures a
+// StorePath never observes a nil Summary.
 type Entry struct {
 	ID       int64
 	Summary  *sgs.Summary
@@ -49,6 +75,35 @@ type Entry struct {
 	// Bytes is the summary's encoded size, maintained so the archive can
 	// report its exact storage footprint (Fig. 8's memory metric).
 	Bytes int
+
+	// load reads a disk-resident summary (nil for memory-tier entries).
+	load func() (*sgs.Summary, error)
+}
+
+// LoadSummary returns the entry's summary, reading it from the disk tier
+// when the entry is disk-resident. It does not cache: repeated calls on
+// a disk-resident entry repeat the read, keeping resident memory bounded
+// by what callers actually hold.
+func (e *Entry) LoadSummary() (*sgs.Summary, error) {
+	if e.Summary != nil {
+		return e.Summary, nil
+	}
+	if e.load == nil {
+		return nil, fmt.Errorf("archive: entry %d has no summary source", e.ID)
+	}
+	return e.load()
+}
+
+// WithSummary returns a copy of the entry with the given summary
+// materialized (the original stays summary-free so shared disk-tier
+// entries never grow resident state).
+func (e *Entry) WithSummary(sum *sgs.Summary) *Entry {
+	if e.Summary == sum {
+		return e
+	}
+	c := *e
+	c.Summary = sum
+	return &c
 }
 
 // generation is the frozen, fully indexed portion of the base. A
@@ -90,11 +145,14 @@ type Base struct {
 	nextID int64
 
 	frozen      *generation
-	frozenEvict int                // frozen.order index of the next FIFO eviction candidate
+	frozenEvict int                // frozen.order index of the next FIFO eviction/demotion candidate
 	delta       []*Entry           // archived since the last rebuild, FIFO, unindexed
-	dead        map[int64]struct{} // frozen ids removed since the last rebuild
-	count       int                // live entries (frozen minus dead, plus delta)
-	bytes       int                // live encoded bytes
+	dead        map[int64]struct{} // frozen ids removed (or demoted to disk) since the last rebuild
+	count       int                // live entries across both tiers
+	bytes       int                // live encoded bytes across both tiers
+	memCount    int                // live entries in the memory tier
+	memBytes    int                // live encoded bytes in the memory tier
+	store       *segstore.Store    // disk tier; nil when StorePath is unset
 	snap        *Snapshot          // cached read view; nil after any mutation
 }
 
@@ -112,12 +170,43 @@ func New(cfg Config) (*Base, error) {
 	if cfg.SampleRate < 0 || cfg.SampleRate > 1 {
 		return nil, fmt.Errorf("archive: sample rate %g out of [0,1]", cfg.SampleRate)
 	}
-	return &Base{
+	if cfg.MaxMemBytes > 0 && cfg.StorePath == "" {
+		return nil, fmt.Errorf("archive: MaxMemBytes requires StorePath")
+	}
+	b := &Base{
 		cfg:    cfg,
 		rng:    rand.New(rand.NewSource(cfg.Seed)),
 		frozen: newGeneration(cfg.Dim),
 		dead:   make(map[int64]struct{}),
-	}, nil
+	}
+	if cfg.StorePath != "" {
+		st, err := segstore.Open(cfg.StorePath, segstore.Options{
+			Dim:                cfg.Dim,
+			TargetSegmentBytes: cfg.StoreSegmentBytes,
+		})
+		if err != nil {
+			return nil, err
+		}
+		b.store = st
+		b.nextID = st.MaxID() + 1
+		v := st.View()
+		b.count = v.Len()
+		b.bytes = v.Bytes()
+	}
+	return b, nil
+}
+
+// Close releases the disk tier (stops its compactor and closes segment
+// files); the memory tier needs no teardown. Snapshots taken earlier
+// must not be used afterwards. Close is a no-op for memory-only bases.
+func (b *Base) Close() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.store == nil {
+		return nil
+	}
+	b.snap = nil
+	return b.store.Close()
 }
 
 // Config returns the archiving policy.
@@ -228,17 +317,130 @@ func (b *Base) putLocked(s *sgs.Summary) (int64, bool, error) {
 	if err := b.maybeRebuildLocked(); err != nil {
 		return 0, false, err
 	}
+	// Demote before committing, so a failed segment flush reports a
+	// genuinely un-archived summary and the memory tier never exceeds its
+	// bounds after a successful Put.
+	if err := b.demoteLocked(e.Bytes); err != nil {
+		return 0, false, err
+	}
 	b.delta = append(b.delta, e)
 	b.count++
 	b.bytes += e.Bytes
+	b.memCount++
+	b.memBytes += e.Bytes
 	b.snap = nil
 
-	if b.cfg.Capacity > 0 {
+	if b.store == nil && b.cfg.Capacity > 0 {
 		for b.count > b.cfg.Capacity {
 			b.evictOldestLocked()
 		}
 	}
 	return id, true, nil
+}
+
+// demoteLocked moves the oldest memory-tier entries into one new disk
+// segment when admitting an entry of incoming bytes would push the
+// memory tier past MaxMemBytes or Capacity. It demotes down to 7/8 of
+// the violated bound (hysteresis: one segment absorbs many Puts). The
+// segment commit happens before any memory-tier bookkeeping changes, so
+// a flush error leaves the base exactly as it was.
+func (b *Base) demoteLocked(incoming int) error {
+	if b.store == nil {
+		return nil
+	}
+	overBytes := b.cfg.MaxMemBytes > 0 && b.memBytes+incoming > b.cfg.MaxMemBytes
+	overCount := b.cfg.Capacity > 0 && b.memCount+1 > b.cfg.Capacity
+	if !overBytes && !overCount {
+		return nil
+	}
+	byteGoal, countGoal := -1, -1
+	if b.cfg.MaxMemBytes > 0 {
+		// Clamp at 0: an incoming entry near (or beyond) the whole budget
+		// must demote everything resident, not disable the bound — a
+		// negative goal would read as the "unbounded" sentinel below.
+		byteGoal = max(b.cfg.MaxMemBytes-b.cfg.MaxMemBytes/8-incoming, 0)
+	}
+	if b.cfg.Capacity > 0 {
+		countGoal = max(b.cfg.Capacity-b.cfg.Capacity/8-1, 0)
+	}
+	return b.demoteOldestLocked(byteGoal, countGoal)
+}
+
+// demoteOldestLocked flushes oldest memory-tier entries to the disk tier
+// until the memory tier is within the goals (a negative goal means
+// unbounded; goals of 0 demote everything). All demoted entries go out
+// in one segment, in FIFO order, preserving the tier invariant that
+// every disk entry predates every memory entry.
+func (b *Base) demoteOldestLocked(byteGoal, countGoal int) error {
+	var fl []segstore.FlushEntry
+	var frozenIDs []int64
+	cur := b.frozenEvict
+	deltaTaken := 0
+	demCount, demBytes := 0, 0
+	over := func() bool {
+		if byteGoal >= 0 && b.memBytes-demBytes > byteGoal {
+			return true
+		}
+		if countGoal >= 0 && b.memCount-demCount > countGoal {
+			return true
+		}
+		return false
+	}
+	for over() && demCount < b.memCount {
+		var e *Entry
+		for cur < len(b.frozen.order) {
+			id := b.frozen.order[cur]
+			cur++
+			if _, gone := b.dead[id]; gone {
+				continue
+			}
+			e = b.frozen.entries[id]
+			frozenIDs = append(frozenIDs, id)
+			break
+		}
+		if e == nil {
+			if deltaTaken >= len(b.delta) {
+				break
+			}
+			e = b.delta[deltaTaken]
+			deltaTaken++
+		}
+		fl = append(fl, segstore.FlushEntry{
+			ID: e.ID, Blob: sgs.Marshal(e.Summary), MBR: e.MBR, Feat: e.Features.Vector(),
+		})
+		demCount++
+		demBytes += e.Bytes
+	}
+	if len(fl) == 0 {
+		return nil
+	}
+	if err := b.store.Flush(fl); err != nil {
+		return err
+	}
+	for _, id := range frozenIDs {
+		b.dead[id] = struct{}{}
+	}
+	b.frozenEvict = cur
+	b.delta = b.delta[deltaTaken:]
+	b.memCount -= demCount
+	b.memBytes -= demBytes
+	b.snap = nil
+	// Totals are unchanged: the entries moved tiers, they did not die.
+	// The tombstones above are memory-tier bookkeeping only.
+	return b.maybeRebuildLocked()
+}
+
+// FlushMem demotes the entire memory tier to the disk tier (one final
+// segment), making the store alone a complete record of the archived
+// history — the shutdown path for store-backed daemons. It requires a
+// disk tier.
+func (b *Base) FlushMem() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.store == nil {
+		return fmt.Errorf("archive: FlushMem requires a disk tier (StorePath)")
+	}
+	return b.demoteOldestLocked(0, 0)
 }
 
 // selectResolution applies §6.1: fixed level, or finest level fitting the
@@ -263,10 +465,11 @@ func (b *Base) selectResolution(s *sgs.Summary) (*sgs.Summary, error) {
 	return s.CompressTo(b.cfg.Level, b.cfg.Theta)
 }
 
-// evictOldestLocked removes the oldest live entry (FIFO). All frozen
-// entries predate all delta entries, so the candidate is the first
-// non-tombstoned frozen id, falling back to the delta head once the
-// frozen generation is exhausted.
+// evictOldestLocked removes the oldest live entry (FIFO) — the
+// memory-only capacity policy; store-backed bases demote instead. All
+// frozen entries predate all delta entries, so the candidate is the
+// first non-tombstoned frozen id, falling back to the delta head once
+// the frozen generation is exhausted.
 func (b *Base) evictOldestLocked() {
 	for b.frozenEvict < len(b.frozen.order) {
 		id := b.frozen.order[b.frozenEvict]
@@ -278,6 +481,8 @@ func (b *Base) evictOldestLocked() {
 		b.dead[id] = struct{}{}
 		b.count--
 		b.bytes -= e.Bytes
+		b.memCount--
+		b.memBytes -= e.Bytes
 		return
 	}
 	if len(b.delta) > 0 {
@@ -285,6 +490,8 @@ func (b *Base) evictOldestLocked() {
 		b.delta = b.delta[1:]
 		b.count--
 		b.bytes -= e.Bytes
+		b.memCount--
+		b.memBytes -= e.Bytes
 	}
 }
 
@@ -295,17 +502,23 @@ func (b *Base) Get(id int64) *Entry {
 	return b.Snapshot().Get(id)
 }
 
-// Remove deletes an archived cluster. It returns true if it existed.
+// Remove deletes an archived cluster from whichever tier holds it. It
+// returns true if it existed. Disk-tier removals persist a tombstone in
+// the store manifest; the bytes are reclaimed by a later compaction.
 func (b *Base) Remove(id int64) bool {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	if _, gone := b.dead[id]; gone {
-		return false
+		// Dead in the memory tier means removed or demoted; a demoted id
+		// lives on in the store and can still be removed from there.
+		return b.removeFromStoreLocked(id)
 	}
 	if e, ok := b.frozen.entries[id]; ok {
 		b.dead[id] = struct{}{}
 		b.count--
 		b.bytes -= e.Bytes
+		b.memCount--
+		b.memBytes -= e.Bytes
 		b.snap = nil
 		// A failed fold here would only delay compaction, never lose the
 		// removal (the tombstone is already recorded).
@@ -317,11 +530,31 @@ func (b *Base) Remove(id int64) bool {
 			b.delta = append(b.delta[:i], b.delta[i+1:]...)
 			b.count--
 			b.bytes -= e.Bytes
+			b.memCount--
+			b.memBytes -= e.Bytes
 			b.snap = nil
 			return true
 		}
 	}
-	return false
+	return b.removeFromStoreLocked(id)
+}
+
+func (b *Base) removeFromStoreLocked(id int64) bool {
+	if b.store == nil {
+		return false
+	}
+	rec, ok := b.store.Find(id)
+	if !ok {
+		return false
+	}
+	ok, err := b.store.Tombstone(id)
+	if err != nil || !ok {
+		return false
+	}
+	b.count--
+	b.bytes -= int(rec.Len)
+	b.snap = nil
+	return true
 }
 
 // rebuildLimitLocked is the pending-mutation threshold beyond which the
@@ -334,7 +567,7 @@ func (b *Base) Remove(id int64) bool {
 // generates two pending mutations per Put: the append and the eviction
 // tombstone).
 func (b *Base) rebuildLimitLocked() int {
-	limit := 64 + b.count/2
+	limit := 64 + b.memCount/2
 	if limit > 4096 {
 		limit = 4096
 	}
@@ -353,7 +586,7 @@ func (b *Base) maybeRebuildLocked() error {
 // it stay valid and simply age.
 func (b *Base) rebuildLocked() error {
 	g := newGeneration(b.cfg.Dim)
-	g.order = make([]int64, 0, b.count)
+	g.order = make([]int64, 0, b.memCount)
 	add := func(e *Entry) error {
 		if err := g.loc.Insert(e.ID, e.MBR); err != nil {
 			return err
@@ -405,4 +638,45 @@ func (b *Base) SearchFeatures(lo, hi [4]float64, visit func(*Entry) bool) {
 // snapshot; see SearchLocation for the reentrancy contract.
 func (b *Base) All(visit func(*Entry) bool) {
 	b.Snapshot().All(visit)
+}
+
+// Searcher is one filter-phase shard of the pattern base: something the
+// matcher can probe for location or feature candidates. A Snapshot's
+// FilterShards splits the base into one memory-tier shard plus one per
+// disk segment, each independently searchable, so the filter phase can
+// fan out across them in parallel.
+type Searcher interface {
+	SearchLocation(q geom.MBR, visit func(*Entry) bool)
+	SearchFeatures(lo, hi [4]float64, visit func(*Entry) bool)
+}
+
+// TierStats reports the split of the archived population across the
+// memory and disk tiers (monitoring endpoints, bounded-memory tests).
+type TierStats struct {
+	// Memory tier.
+	MemEntries int
+	MemBytes   int
+	// Disk tier (all zero for memory-only bases).
+	Segments    int
+	SegEntries  int // live records
+	SegBytes    int // live encoded bytes
+	SegDead     int // tombstoned records awaiting compaction
+	Compactions uint64
+}
+
+// TierStats returns the current tier split.
+func (b *Base) TierStats() TierStats {
+	b.mu.Lock()
+	ts := TierStats{MemEntries: b.memCount, MemBytes: b.memBytes}
+	store := b.store
+	b.mu.Unlock()
+	if store != nil {
+		s := store.Stats()
+		ts.Segments = s.Segments
+		ts.SegEntries = s.LiveRecords
+		ts.SegBytes = s.LiveBytes
+		ts.SegDead = s.Records - s.LiveRecords
+		ts.Compactions = s.Compactions
+	}
+	return ts
 }

@@ -38,6 +38,22 @@
 //     number of searches — the property the matcher's filter-and-refine
 //     pipeline needs to stay deterministic.
 //
+// # The disk tier
+//
+// With Config.StorePath set, the base becomes two-tiered: beneath the
+// in-memory generation sits an internal/segstore directory of immutable
+// on-disk segments. Memory pressure (MaxMemBytes) and capacity pressure
+// (Capacity) demote the oldest entries — always the oldest, so every
+// disk entry predates every memory entry and FIFO order spans the tiers
+// — as one segment per demotion batch, committed before the memory-tier
+// bookkeeping changes. Snapshots pin the segment set along with the
+// generation, and FilterShards exposes the tiers as disjoint Searchers
+// (the memory tier plus one per segment) so the matcher's filter phase
+// can probe them in parallel. Disk-resident entries surface with their
+// footer-indexed features only (nil Summary); the refine phase loads
+// their cells lazily via Entry.LoadSummary, so a query's resident cost
+// is its candidates, not the history.
+//
 // # Persistence
 //
 // Save/Load write and rebuild the whole base (indices are derived data);
@@ -45,5 +61,10 @@
 // whose damaged tail is detected and discarded on replay. The Appender
 // is fail-stop: after any write error it latches the error and refuses
 // further appends, so a torn record can never be followed by a
-// "successful" one that mis-frames the log.
+// "successful" one that mis-frames the log. The disk tier persists
+// itself: segments and the manifest commit atomically (see
+// internal/segstore), FlushMem demotes the memory tier as one final
+// segment at shutdown, and reopening a base over the same StorePath
+// resumes with the history visible and id assignment continuing past
+// everything ever committed to the store.
 package archive

@@ -35,7 +35,14 @@ func (b *Base) Save(w io.Writer) error {
 	}
 	var werr error
 	snap.All(func(e *Entry) bool {
-		blob := sgs.Marshal(e.Summary)
+		// Disk-resident entries stream through one at a time; the dump
+		// never holds more than one of their summaries in memory.
+		sum, err := e.LoadSummary()
+		if err != nil {
+			werr = err
+			return false
+		}
+		blob := sgs.Marshal(sum)
 		binary.LittleEndian.PutUint64(n8[:], uint64(len(blob)))
 		if _, werr = bw.Write(n8[:]); werr != nil {
 			return false
@@ -114,13 +121,18 @@ func (b *Base) Load(r io.Reader) error {
 	b.delta = entries
 	b.count = len(entries)
 	b.bytes = bytes
+	b.memCount = len(entries)
+	b.memBytes = bytes
 	b.nextID = int64(len(entries))
 	b.snap = nil
 	if err := b.rebuildLocked(); err != nil {
 		// Keep the "corrupt file leaves the base empty" guarantee.
 		b.delta, b.count, b.bytes, b.nextID = nil, 0, 0, 0
+		b.memCount, b.memBytes = 0, 0
 		b.frozen = newGeneration(b.cfg.Dim)
 		return err
 	}
-	return nil
+	// A store-backed base re-establishes its memory bound after the bulk
+	// load (demotion is otherwise amortized across Puts).
+	return b.demoteLocked(0)
 }

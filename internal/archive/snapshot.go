@@ -4,14 +4,17 @@ import (
 	"streamsum/internal/featidx"
 	"streamsum/internal/geom"
 	"streamsum/internal/rtree"
+	"streamsum/internal/segstore"
+	"streamsum/internal/sgs"
 )
 
 // Snapshot is an immutable point-in-time view of the pattern base: the
 // frozen generation's indices (shared, never mutated after publication),
-// a private copy of the delta, and the tombstone set as of the snapshot.
-// Any number of goroutines may search one snapshot concurrently, and no
-// snapshot operation ever takes the base lock — matching queries run
-// entirely off the archiver's append path.
+// a private copy of the delta, the tombstone set as of the snapshot, and
+// — for store-backed bases — a pinned view of the disk tier's segment
+// set. Any number of goroutines may search one snapshot concurrently,
+// and no snapshot operation ever takes the base lock — matching queries
+// run entirely off the archiver's append path.
 //
 // A snapshot does not see mutations made after it was taken; pin one
 // snapshot per query when the filter phases must agree on a single
@@ -21,14 +24,15 @@ type Snapshot struct {
 	gen   *generation
 	delta []*Entry
 	dead  map[int64]struct{}
-	count int
-	bytes int
+	view  *segstore.View // disk tier; nil for memory-only bases
+	count int            // live entries across both tiers
+	bytes int            // live encoded bytes across both tiers
 }
 
 // Snapshot returns a read-only view of the base's current contents. The
 // view is cached: repeated calls between mutations return the same
 // Snapshot, and taking one after a mutation costs O(delta + tombstones)
-// — the frozen generation is shared, not copied.
+// — the frozen generation and the disk segments are shared, not copied.
 func (b *Base) Snapshot() *Snapshot {
 	b.mu.Lock()
 	defer b.mu.Unlock()
@@ -45,14 +49,19 @@ func (b *Base) Snapshot() *Snapshot {
 			s.dead[id] = struct{}{}
 		}
 	}
+	if b.store != nil {
+		s.view = b.store.View()
+	}
 	b.snap = s
 	return s
 }
 
-// Len returns the number of archived clusters in the snapshot.
+// Len returns the number of archived clusters in the snapshot (both
+// tiers).
 func (s *Snapshot) Len() int { return s.count }
 
-// Bytes returns the total encoded size of the snapshot's summaries.
+// Bytes returns the total encoded size of the snapshot's summaries
+// (both tiers).
 func (s *Snapshot) Bytes() int { return s.bytes }
 
 func (s *Snapshot) isDead(id int64) bool {
@@ -60,27 +69,55 @@ func (s *Snapshot) isDead(id int64) bool {
 	return gone
 }
 
-// Get returns the entry with the given id, or nil.
+// segEntry wraps one disk-resident record as an Entry: the filter-phase
+// features come from the segment footer; the summary loads lazily.
+func segEntry(seg *segstore.Segment, r segstore.Record) *Entry {
+	return &Entry{
+		ID:       r.ID,
+		MBR:      r.MBR,
+		Features: sgs.FeaturesFromVector(r.Feat),
+		Bytes:    int(r.Len),
+		load:     func() (*sgs.Summary, error) { return seg.Load(r) },
+	}
+}
+
+// Get returns the entry with the given id, or nil. Disk-resident entries
+// are returned with the summary materialized (one segment read); if that
+// read fails, Get reports the entry absent — run a matching query when
+// the I/O error itself matters, its refine phase surfaces it.
 func (s *Snapshot) Get(id int64) *Entry {
-	if s.isDead(id) {
-		return nil
-	}
-	if e, ok := s.gen.entries[id]; ok {
-		return e
-	}
-	for _, e := range s.delta {
-		if e.ID == id {
+	if !s.isDead(id) {
+		if e, ok := s.gen.entries[id]; ok {
 			return e
+		}
+		for _, e := range s.delta {
+			if e.ID == id {
+				return e
+			}
+		}
+	}
+	// The memory tier marks demoted ids dead, so a dead id may still be
+	// live on disk.
+	if s.view != nil {
+		if seg, r, ok := s.view.Get(id); ok {
+			sum, err := seg.Load(r)
+			if err != nil {
+				return nil
+			}
+			return segEntry(seg, r).WithSummary(sum)
 		}
 	}
 	return nil
 }
 
-// SearchLocation visits entries whose MBR intersects the query box: the
-// frozen generation via its R-tree, then the delta by linear scan (the
-// delta is bounded by the base's fold threshold). Iteration stops early
-// if visit returns false.
-func (s *Snapshot) SearchLocation(q geom.MBR, visit func(*Entry) bool) {
+// memShard is the memory tier as a filter shard: the frozen generation's
+// indices plus the delta's linear scan.
+type memShard struct{ s *Snapshot }
+
+// SearchLocation visits memory-tier entries whose MBR intersects the
+// query box. Iteration stops early if visit returns false.
+func (m memShard) SearchLocation(q geom.MBR, visit func(*Entry) bool) {
+	s := m.s
 	stopped := false
 	s.gen.loc.SearchIntersect(q, func(it rtree.Item) bool {
 		if s.isDead(it.ID) {
@@ -102,11 +139,10 @@ func (s *Snapshot) SearchLocation(q geom.MBR, visit func(*Entry) bool) {
 	}
 }
 
-// SearchFeatures visits entries whose feature vector lies inside the
-// inclusive hyper-rectangle [lo, hi]: the frozen generation via its 4-D
-// grid index, then the delta by linear scan. Iteration stops early if
-// visit returns false.
-func (s *Snapshot) SearchFeatures(lo, hi [4]float64, visit func(*Entry) bool) {
+// SearchFeatures visits memory-tier entries whose feature vector lies
+// inside [lo, hi]. Iteration stops early if visit returns false.
+func (m memShard) SearchFeatures(lo, hi [4]float64, visit func(*Entry) bool) {
+	s := m.s
 	stopped := false
 	s.gen.feat.Search(lo, hi, func(fe featidx.Entry) bool {
 		if s.isDead(fe.ID) {
@@ -136,10 +172,120 @@ func (s *Snapshot) SearchFeatures(lo, hi [4]float64, visit func(*Entry) bool) {
 	}
 }
 
-// All visits every entry in FIFO order: the frozen generation's order
-// minus tombstones, then the delta (every delta entry postdates every
-// frozen one). Iteration stops early if visit returns false.
+// segShard is one disk segment as a filter shard, masked by the store
+// tombstones pinned in the snapshot's view.
+type segShard struct {
+	seg  *segstore.Segment
+	view *segstore.View
+}
+
+// SearchLocation visits the segment's live records whose MBR intersects
+// the query box.
+func (g segShard) SearchLocation(q geom.MBR, visit func(*Entry) bool) {
+	g.seg.SearchLocation(q, func(r segstore.Record) bool {
+		if g.view.Dead(r.ID) {
+			return true
+		}
+		return visit(segEntry(g.seg, r))
+	})
+}
+
+// SearchFeatures visits the segment's live records whose feature vector
+// lies inside [lo, hi].
+func (g segShard) SearchFeatures(lo, hi [4]float64, visit func(*Entry) bool) {
+	g.seg.SearchFeatures(lo, hi, func(r segstore.Record) bool {
+		if g.view.Dead(r.ID) {
+			return true
+		}
+		return visit(segEntry(g.seg, r))
+	})
+}
+
+// FilterShards splits the snapshot into independently searchable filter
+// shards: the memory tier first, then one shard per disk segment in
+// archive order. Shards are disjoint (an id appears in exactly one) and
+// each is safe for concurrent probing, so a matcher may fan its filter
+// phase out across them — internal/match does exactly that.
+func (s *Snapshot) FilterShards() []Searcher {
+	segs := s.segShards()
+	shards := make([]Searcher, 0, 1+len(segs))
+	shards = append(shards, memShard{s})
+	for _, sh := range segs {
+		shards = append(shards, sh)
+	}
+	return shards
+}
+
+// segShards returns the disk tier's filter shards (nil for memory-only
+// bases).
+func (s *Snapshot) segShards() []segShard {
+	if s.view == nil {
+		return nil
+	}
+	segs := s.view.Segments()
+	out := make([]segShard, len(segs))
+	for i, seg := range segs {
+		out[i] = segShard{seg: seg, view: s.view}
+	}
+	return out
+}
+
+// SearchLocation visits entries whose MBR intersects the query box: the
+// disk segments (oldest history first), then the frozen generation via
+// its R-tree, then the delta by linear scan. Iteration stops early if
+// visit returns false.
+func (s *Snapshot) SearchLocation(q geom.MBR, visit func(*Entry) bool) {
+	stopped := false
+	wrapped := func(e *Entry) bool {
+		stopped = !visit(e)
+		return !stopped
+	}
+	for _, sh := range s.segShards() {
+		sh.SearchLocation(q, wrapped)
+		if stopped {
+			return
+		}
+	}
+	memShard{s}.SearchLocation(q, wrapped)
+}
+
+// SearchFeatures visits entries whose feature vector lies inside the
+// inclusive hyper-rectangle [lo, hi], disk segments first, then the
+// memory tier. Iteration stops early if visit returns false.
+func (s *Snapshot) SearchFeatures(lo, hi [4]float64, visit func(*Entry) bool) {
+	stopped := false
+	wrapped := func(e *Entry) bool {
+		stopped = !visit(e)
+		return !stopped
+	}
+	for _, sh := range s.segShards() {
+		sh.SearchFeatures(lo, hi, wrapped)
+		if stopped {
+			return
+		}
+	}
+	memShard{s}.SearchFeatures(lo, hi, wrapped)
+}
+
+// All visits every entry in FIFO order: the disk segments (all disk
+// entries predate all memory entries — demotion always takes the oldest),
+// then the frozen generation's order minus tombstones, then the delta.
+// Disk-resident entries are visited summary-free; call LoadSummary on
+// them when the cells are needed. Iteration stops early if visit returns
+// false.
 func (s *Snapshot) All(visit func(*Entry) bool) {
+	if s.view != nil {
+		for _, seg := range s.view.Segments() {
+			for _, r := range seg.Records() {
+				if s.view.Dead(r.ID) {
+					continue
+				}
+				if !visit(segEntry(seg, r)) {
+					return
+				}
+			}
+		}
+	}
 	for _, id := range s.gen.order {
 		if s.isDead(id) {
 			continue

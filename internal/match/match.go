@@ -21,6 +21,20 @@ type Source interface {
 	SearchFeatures(lo, hi [4]float64, visit func(*archive.Entry) bool)
 }
 
+// ShardedSource is a Source that can split itself into independently
+// searchable filter shards (archive.Snapshot: the memory tier plus one
+// shard per disk segment). When a source implements it, the filter
+// phase probes the shards in parallel across Query.Workers instead of
+// sequentially — shards are disjoint, so the candidate set (and
+// therefore the result) is identical either way.
+type ShardedSource interface {
+	FilterShards() []archive.Searcher
+}
+
+// DefaultAlignBudget is the alignment-search budget used when
+// Query.AlignBudget is unset.
+const DefaultAlignBudget = 64
+
 // Weights configures the distance metric. The four feature weights must be
 // non-negative and sum to 1.
 type Weights struct {
@@ -80,17 +94,62 @@ type Match struct {
 	Entry    *archive.Entry
 }
 
-// Stats reports filter-and-refine effectiveness: how many candidates the
-// index returned and how many survived to the grid-cell-level match (the
-// paper reports ~6% reaching the grid level, §8.2).
+// Stats reports filter-and-refine effectiveness: how many filter shards
+// were probed, how many candidates the indexes returned and how many
+// survived to the grid-cell-level match (the paper reports ~6% reaching
+// the grid level, §8.2).
 type Stats struct {
+	FilterShards    int
 	IndexCandidates int
 	Refined         int
 }
 
+// filterShards resolves the source into its filter shards: one per tier
+// segment for a ShardedSource, the source itself otherwise.
+func filterShards(src Source) []archive.Searcher {
+	if ss, ok := src.(ShardedSource); ok {
+		if shards := ss.FilterShards(); len(shards) > 0 {
+			return shards
+		}
+	}
+	return []archive.Searcher{src}
+}
+
+// filterOne probes one shard for the query's candidates.
+func filterOne(sh archive.Searcher, w Weights, targetMBR geom.MBR, lo, hi [4]float64) []*archive.Entry {
+	var out []*archive.Entry
+	if w.PositionSensitive {
+		// Non-overlapping clusters have Dist_location = 1 ≥ any threshold
+		// < 1, so the R-tree overlap probe is exact for the location term.
+		sh.SearchLocation(targetMBR, func(e *archive.Entry) bool {
+			out = append(out, e)
+			return true
+		})
+	} else {
+		sh.SearchFeatures(lo, hi, func(e *archive.Entry) bool {
+			out = append(out, e)
+			return true
+		})
+	}
+	return out
+}
+
+// RefineDistance is the grid-cell-level distance the refine phase
+// assigns a (target, candidate) pair: the fixed zero alignment under a
+// position-sensitive metric, the anytime alignment search otherwise.
+func RefineDistance(target, cand *sgs.Summary, w Weights, budget int) float64 {
+	if w.PositionSensitive {
+		return CellDistance(target, cand, zeroAlign(target.Dim))
+	}
+	d, _ := BestAlignment(target, cand, budget)
+	return d
+}
+
 // Run executes the query against src and returns matches sorted by
-// ascending distance. The refine phase fans out across Query.Workers
-// goroutines; results are byte-identical at every worker count.
+// ascending distance. Both the filter phase (one index probe per shard
+// of a ShardedSource) and the refine phase (one grid-cell-level match
+// per candidate) fan out across Query.Workers goroutines; results are
+// byte-identical at every worker count and every shard layout.
 func Run(src Source, q Query) ([]Match, Stats, error) {
 	var st Stats
 	if q.Target == nil || q.Target.NumCells() == 0 {
@@ -108,28 +167,29 @@ func Run(src Source, q Query) ([]Match, Stats, error) {
 	}
 	budget := q.AlignBudget
 	if budget <= 0 {
-		budget = 64
+		budget = DefaultAlignBudget
 	}
 
 	targetFeat := q.Target.Features().Vector()
 	targetMBR := q.Target.MBR()
+	lo, hi := FeatureRanges(targetFeat, w, q.Threshold)
 
-	// --- Phase 1: filter — index probe for candidates ---------------------
+	// --- Phase 1: filter — parallel index probes across shards ------------
+	// Shards are disjoint and independently searchable (the memory tier
+	// plus one per disk segment); each task probes one shard into its own
+	// slot. Candidates are then merged in id order so every later phase is
+	// independent of the shard layout and probe timing.
+	shards := filterShards(src)
+	st.FilterShards = len(shards)
+	perShard := make([][]*archive.Entry, len(shards))
+	par.ForEach(q.Workers, len(shards), func(i int) {
+		perShard[i] = filterOne(shards[i], w, targetMBR, lo, hi)
+	})
 	var candidates []*archive.Entry
-	if w.PositionSensitive {
-		// Non-overlapping clusters have Dist_location = 1 ≥ any threshold
-		// < 1, so the R-tree overlap probe is exact for the location term.
-		src.SearchLocation(targetMBR, func(e *archive.Entry) bool {
-			candidates = append(candidates, e)
-			return true
-		})
-	} else {
-		lo, hi := FeatureRanges(targetFeat, w, q.Threshold)
-		src.SearchFeatures(lo, hi, func(e *archive.Entry) bool {
-			candidates = append(candidates, e)
-			return true
-		})
+	for _, part := range perShard {
+		candidates = append(candidates, part...)
 	}
+	sort.Slice(candidates, func(i, j int) bool { return candidates[i].ID < candidates[j].ID })
 	st.IndexCandidates = len(candidates)
 
 	// Exact cluster-level feature distance on the candidates; only those
@@ -144,21 +204,33 @@ func Run(src Source, q Query) ([]Match, Stats, error) {
 
 	// --- Phase 2: refine — parallel grid-cell-level cluster match ---------
 	// Candidates are independent: each worker reads the shared immutable
-	// summaries and writes only its own distance slot.
+	// summaries (loading disk-resident ones lazily) and writes only its
+	// own slots.
 	dists := make([]float64, len(refine))
-	par.For(q.Workers, len(refine), func(i int) {
-		if w.PositionSensitive {
-			dists[i] = CellDistance(q.Target, refine[i].Summary, zeroAlign(q.Target.Dim))
-		} else {
-			dists[i], _ = BestAlignment(q.Target, refine[i].Summary, budget)
+	sums := make([]*sgs.Summary, len(refine))
+	errs := make([]error, len(refine))
+	par.ForEach(q.Workers, len(refine), func(i int) {
+		sum, err := refine[i].LoadSummary()
+		if err != nil {
+			errs[i] = err
+			return
 		}
+		sums[i] = sum
+		dists[i] = RefineDistance(q.Target, sum, w, budget)
 	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, st, err
+		}
+	}
 
 	// --- Phase 3: order — threshold, sort, top-k --------------------------
 	var matches []Match
 	for i, e := range refine {
 		if dists[i] <= q.Threshold {
-			matches = append(matches, Match{ID: e.ID, Distance: dists[i], Entry: e})
+			// Results carry materialized summaries even for disk-resident
+			// candidates (the refine phase read them anyway).
+			matches = append(matches, Match{ID: e.ID, Distance: dists[i], Entry: e.WithSummary(sums[i])})
 		}
 	}
 	sort.Slice(matches, func(i, j int) bool {

@@ -26,6 +26,19 @@ const chunk = 32
 // loop runs inline on the caller's goroutine — zero overhead for the
 // sequential configuration.
 func For(workers, n int, fn func(i int)) {
+	forChunked(workers, n, chunk, fn)
+}
+
+// ForEach is For with a claim granularity of one: workers grab single
+// indices off the shared cursor, so even a handful of heavyweight,
+// skewed tasks (index probes over segments of very different sizes, one
+// alignment search per candidate) spread across the workers instead of
+// being batched onto one. Use For when n is large and fn is cheap.
+func ForEach(workers, n int, fn func(i int)) {
+	forChunked(workers, n, 1, fn)
+}
+
+func forChunked(workers, n, step int, fn func(i int)) {
 	if n <= 0 {
 		return
 	}
@@ -33,7 +46,7 @@ func For(workers, n int, fn func(i int)) {
 	if workers > n {
 		workers = n
 	}
-	if workers <= 1 || n <= chunk {
+	if workers <= 1 || n <= step {
 		for i := 0; i < n; i++ {
 			fn(i)
 		}
@@ -46,11 +59,11 @@ func For(workers, n int, fn func(i int)) {
 		go func() {
 			defer wg.Done()
 			for {
-				lo := int(cursor.Add(chunk)) - chunk
+				lo := int(cursor.Add(int64(step))) - step
 				if lo >= n {
 					return
 				}
-				hi := lo + chunk
+				hi := lo + step
 				if hi > n {
 					hi = n
 				}

@@ -1,0 +1,35 @@
+package segstore
+
+import (
+	"testing"
+)
+
+// BenchmarkFlushSegment measures one demotion flush: writing a segment
+// of 64 summaries (records + footer + trailer, fsynced) and committing
+// the manifest. This is the disk cost a store-backed archiver pays per
+// demotion batch, amortized over the Puts that filled the batch.
+func BenchmarkFlushSegment(b *testing.B) {
+	proto := makeEntries(b, 64, 7, 0)
+	bytes := 0
+	for _, e := range proto {
+		bytes += len(e.Blob)
+	}
+	st, err := Open(b.TempDir(), Options{Dim: 2, NoBackgroundCompaction: true, TargetSegmentBytes: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer st.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		entries := make([]FlushEntry, len(proto))
+		for j, e := range proto {
+			e.ID = int64(i*len(proto) + j) // ids are globally unique in a store
+			entries[j] = e
+		}
+		if err := st.Flush(entries); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(bytes*b.N)/b.Elapsed().Seconds()/(1<<20), "MB/sec")
+}

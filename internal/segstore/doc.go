@@ -1,0 +1,71 @@
+// Package segstore is the disk tier of the pattern base: an LSM-style
+// store of immutable on-disk segments beneath internal/archive's
+// in-memory generation, so a long-running archiver can serve matching
+// queries over unbounded stream history with bounded resident memory
+// (the off-line analysis workload of §3.2 assumes the pattern base keeps
+// every archived summary; the memory tier alone cannot).
+//
+// # On-disk format
+//
+// A segment file holds a batch of archived summaries demoted from the
+// memory tier, in FIFO (archive) order:
+//
+//	header  "SGSLOG1\n"                          — the archive.Appender log magic
+//	records repeat{ length u32 | sgs.Marshal blob }  — Appender record framing
+//	footer  "SGSFTR1\n" | dim u8 | count u32 |
+//	        per record: id i64 | blobOff u64 | blobLen u32 |
+//	                    MBR min dim×f64 | MBR max dim×f64 | features 4×f64
+//	trailer footerOff u64 | footerLen u32 | crc32(footer) u32 | "SGSEND1\n"
+//
+// The record region is byte-identical to an archive.Appender log: a
+// segment whose footer or trailer is damaged is still a recoverable
+// append log (archive.Base.LoadAppended salvages the intact record
+// prefix). The footer is the segment's serialized index: it carries the
+// id, byte range, bounding rectangle and non-locational feature vector
+// of every record, so OpenSegment rebuilds the segment's R-tree and
+// feature-grid probe structures from the footer alone — record blobs are
+// only read (lazily, via pread) when the refine phase of a matching
+// query actually needs a candidate's cells.
+//
+// Validity is all-or-nothing: OpenSegment verifies the end magic, the
+// trailer's geometry (footerOff + footerLen + trailer == file size), the
+// footer CRC, the header magic and every record's byte range before
+// exposing anything. A file truncated at any byte offset fails one of
+// those checks and is rejected whole — a torn segment is never loaded
+// (see the recovery sweep in segment_test.go).
+//
+// # Store, manifest, compaction
+//
+// A Store is a directory of segments tracked by a MANIFEST file (magic,
+// next file sequence number, ordered segment list, tombstoned ids, CRC).
+// The manifest is the commit point of every store mutation and is always
+// replaced atomically: written to a temp file, fsynced, renamed over
+// MANIFEST. Segments likewise become visible only by rename and only
+// after their bytes are synced, so a crash anywhere leaves either the
+// old store state or the new one, never a mix; segment files not listed
+// in the manifest are leftovers of an uncommitted flush (the entries
+// they hold were still owned by the memory tier when the crash hit) and
+// are removed on Open.
+//
+// Flush appends a new segment; Tombstone marks an id deleted (the bytes
+// are reclaimed later); both commit by manifest rewrite. A background
+// compactor merges runs of undersized or tombstone-heavy adjacent
+// segments into one, dropping tombstoned records and retiring the
+// inputs. Manifest order is archive (FIFO) order and compaction only
+// ever replaces adjacent runs in place, so the store-wide record
+// sequence is preserved.
+//
+// # Concurrency and the read contract
+//
+// Segments are immutable after OpenSegment: any number of goroutines may
+// probe SearchLocation/SearchFeatures concurrently (the same read-only
+// traversal contract as internal/rtree and internal/featidx) and Load
+// records concurrently (pread). View pins the current segment set plus a
+// copy of the tombstones — the store analogue of archive.Snapshot — and
+// remains searchable while flushes, tombstones and compactions proceed:
+// a compaction retires replaced segments by unlinking them, but their
+// open file handles keep every pinned View readable until the View (and
+// the Segments it pins) become unreachable. Store.Close stops the
+// compactor and closes all live segments; Views must not be used after
+// Close.
+package segstore

@@ -1,0 +1,350 @@
+package segstore
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"os"
+	"runtime"
+
+	"streamsum/internal/featidx"
+	"streamsum/internal/geom"
+	"streamsum/internal/rtree"
+	"streamsum/internal/sgs"
+)
+
+var (
+	// logMagic is the archive.Appender log magic: a segment's record
+	// region is byte-identical to an append log, so a damaged segment is
+	// still salvageable with LoadAppended.
+	logMagic    = [8]byte{'S', 'G', 'S', 'L', 'O', 'G', '1', '\n'}
+	footerMagic = [8]byte{'S', 'G', 'S', 'F', 'T', 'R', '1', '\n'}
+	endMagic    = [8]byte{'S', 'G', 'S', 'E', 'N', 'D', '1', '\n'}
+)
+
+const trailerSize = 8 + 4 + 4 + 8 // footerOff u64 | footerLen u32 | crc u32 | end magic
+
+// ErrBadSegment is returned when a segment file fails validation. A
+// truncated or otherwise damaged segment is rejected whole — the store
+// never serves a torn segment.
+var ErrBadSegment = errors.New("segstore: bad segment file")
+
+// FlushEntry is one summary handed to the store for demotion: the
+// encoded blob plus the index features the footer records, so the store
+// never needs to decode what it writes.
+type FlushEntry struct {
+	ID   int64
+	Blob []byte
+	MBR  geom.MBR
+	Feat [4]float64
+}
+
+// Record is one summary as indexed by a segment footer: its id, the byte
+// range of its encoded blob within the segment file, and the filter-
+// phase features (bounding rectangle and non-locational feature vector).
+type Record struct {
+	ID   int64
+	Off  int64 // blob offset within the file (past the u32 length prefix)
+	Len  uint32
+	MBR  geom.MBR
+	Feat [4]float64
+}
+
+// Segment is one immutable on-disk segment, opened for reading. All
+// methods are safe for concurrent use: the in-memory probe structures
+// are built once at open time and never mutated, and Load uses pread.
+type Segment struct {
+	path    string
+	f       *os.File
+	dim     int
+	recs    []Record
+	byID    map[int64]int
+	payload int // sum of record blob lengths, cached at open
+	loc     *rtree.Tree
+	feat    *featidx.Index
+}
+
+// writeSegment writes a complete segment file at path (no atomicity —
+// the caller writes to a temp name and renames). Entries must be in
+// archive (FIFO) order and share the store's dimensionality.
+func writeSegment(path string, dim int, entries []FlushEntry) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := bufio.NewWriterSize(f, 1<<16)
+	if _, err := w.Write(logMagic[:]); err != nil {
+		return err
+	}
+	off := int64(len(logMagic))
+	recs := make([]Record, 0, len(entries))
+	var n4 [4]byte
+	for _, e := range entries {
+		if e.MBR.Dim() != dim {
+			return fmt.Errorf("segstore: entry %d dimension %d != store dimension %d", e.ID, e.MBR.Dim(), dim)
+		}
+		binary.LittleEndian.PutUint32(n4[:], uint32(len(e.Blob)))
+		if _, err := w.Write(n4[:]); err != nil {
+			return err
+		}
+		if _, err := w.Write(e.Blob); err != nil {
+			return err
+		}
+		recs = append(recs, Record{ID: e.ID, Off: off + 4, Len: uint32(len(e.Blob)), MBR: e.MBR, Feat: e.Feat})
+		off += 4 + int64(len(e.Blob))
+	}
+	footer := encodeFooter(dim, recs)
+	if _, err := w.Write(footer); err != nil {
+		return err
+	}
+	var tr [trailerSize]byte
+	binary.LittleEndian.PutUint64(tr[0:], uint64(off))
+	binary.LittleEndian.PutUint32(tr[8:], uint32(len(footer)))
+	binary.LittleEndian.PutUint32(tr[12:], crc32.ChecksumIEEE(footer))
+	copy(tr[16:], endMagic[:])
+	if _, err := w.Write(tr[:]); err != nil {
+		return err
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	return f.Sync()
+}
+
+func encodeFooter(dim int, recs []Record) []byte {
+	buf := make([]byte, 0, len(footerMagic)+5+len(recs)*(8+8+4+dim*16+32))
+	buf = append(buf, footerMagic[:]...)
+	buf = append(buf, byte(dim))
+	var n4 [4]byte
+	binary.LittleEndian.PutUint32(n4[:], uint32(len(recs)))
+	buf = append(buf, n4[:]...)
+	var n8 [8]byte
+	f64 := func(v float64) {
+		binary.LittleEndian.PutUint64(n8[:], math.Float64bits(v))
+		buf = append(buf, n8[:]...)
+	}
+	for _, r := range recs {
+		binary.LittleEndian.PutUint64(n8[:], uint64(r.ID))
+		buf = append(buf, n8[:]...)
+		binary.LittleEndian.PutUint64(n8[:], uint64(r.Off))
+		buf = append(buf, n8[:]...)
+		binary.LittleEndian.PutUint32(n4[:], r.Len)
+		buf = append(buf, n4[:]...)
+		for d := 0; d < dim; d++ {
+			f64(r.MBR.Min[d])
+		}
+		for d := 0; d < dim; d++ {
+			f64(r.MBR.Max[d])
+		}
+		for d := 0; d < 4; d++ {
+			f64(r.Feat[d])
+		}
+	}
+	return buf
+}
+
+// OpenSegment validates and opens a segment file. Validation is
+// all-or-nothing: end magic, trailer geometry, footer CRC, header magic
+// and every record's byte range must check out, so a file truncated at
+// any byte offset is rejected with ErrBadSegment rather than partially
+// loaded.
+func OpenSegment(path string) (*Segment, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	seg, err := openSegmentFile(path, f)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	// Keep pinned Views readable after a compaction unlinks the file:
+	// the handle closes when the last reference drops, or at Store.Close.
+	runtime.SetFinalizer(seg, func(s *Segment) { s.f.Close() })
+	return seg, nil
+}
+
+func openSegmentFile(path string, f *os.File) (*Segment, error) {
+	st, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	size := st.Size()
+	if size < int64(len(logMagic))+trailerSize {
+		return nil, fmt.Errorf("%w: %s: too short (%d bytes)", ErrBadSegment, path, size)
+	}
+	var tr [trailerSize]byte
+	if _, err := f.ReadAt(tr[:], size-trailerSize); err != nil {
+		return nil, fmt.Errorf("%w: %s: %v", ErrBadSegment, path, err)
+	}
+	if [8]byte(tr[16:24]) != endMagic {
+		return nil, fmt.Errorf("%w: %s: bad end magic", ErrBadSegment, path)
+	}
+	footerOff := int64(binary.LittleEndian.Uint64(tr[0:]))
+	footerLen := int64(binary.LittleEndian.Uint32(tr[8:]))
+	crc := binary.LittleEndian.Uint32(tr[12:])
+	if footerOff < int64(len(logMagic)) || footerOff+footerLen+trailerSize != size {
+		return nil, fmt.Errorf("%w: %s: trailer geometry", ErrBadSegment, path)
+	}
+	footer := make([]byte, footerLen)
+	if _, err := io.ReadFull(io.NewSectionReader(f, footerOff, footerLen), footer); err != nil {
+		return nil, fmt.Errorf("%w: %s: %v", ErrBadSegment, path, err)
+	}
+	if crc32.ChecksumIEEE(footer) != crc {
+		return nil, fmt.Errorf("%w: %s: footer CRC mismatch", ErrBadSegment, path)
+	}
+	var head [8]byte
+	if _, err := f.ReadAt(head[:], 0); err != nil {
+		return nil, fmt.Errorf("%w: %s: %v", ErrBadSegment, path, err)
+	}
+	if head != logMagic {
+		return nil, fmt.Errorf("%w: %s: bad header magic", ErrBadSegment, path)
+	}
+	dim, recs, err := decodeFooter(footer)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %s: %v", ErrBadSegment, path, err)
+	}
+	seg := &Segment{
+		path: path, f: f, dim: dim, recs: recs,
+		byID: make(map[int64]int, len(recs)),
+		loc:  rtree.New(dim),
+		feat: featidx.New(),
+	}
+	end := int64(len(logMagic))
+	for i, r := range recs {
+		if r.Off != end+4 || r.Off+int64(r.Len) > footerOff {
+			return nil, fmt.Errorf("%w: %s: record %d byte range", ErrBadSegment, path, i)
+		}
+		end = r.Off + int64(r.Len)
+		if _, dup := seg.byID[r.ID]; dup {
+			return nil, fmt.Errorf("%w: %s: duplicate id %d", ErrBadSegment, path, r.ID)
+		}
+		seg.byID[r.ID] = i
+		seg.payload += int(r.Len)
+		if err := seg.loc.Insert(r.ID, r.MBR); err != nil {
+			return nil, fmt.Errorf("%w: %s: record %d: %v", ErrBadSegment, path, i, err)
+		}
+		seg.feat.Insert(r.ID, r.Feat)
+	}
+	if end != footerOff {
+		return nil, fmt.Errorf("%w: %s: record region does not meet footer", ErrBadSegment, path)
+	}
+	return seg, nil
+}
+
+func decodeFooter(b []byte) (dim int, recs []Record, err error) {
+	if len(b) < len(footerMagic)+5 || [8]byte(b[:8]) != footerMagic {
+		return 0, nil, fmt.Errorf("bad footer magic")
+	}
+	dim = int(b[8])
+	if dim < 1 || dim > 8 {
+		return 0, nil, fmt.Errorf("footer dimension %d", dim)
+	}
+	count := binary.LittleEndian.Uint32(b[9:])
+	recSize := 8 + 8 + 4 + dim*16 + 32
+	body := b[13:]
+	if uint64(len(body)) != uint64(count)*uint64(recSize) {
+		return 0, nil, fmt.Errorf("footer size %d != %d records", len(body), count)
+	}
+	recs = make([]Record, count)
+	for i := range recs {
+		p := body[i*recSize:]
+		r := &recs[i]
+		r.ID = int64(binary.LittleEndian.Uint64(p[0:]))
+		r.Off = int64(binary.LittleEndian.Uint64(p[8:]))
+		r.Len = binary.LittleEndian.Uint32(p[16:])
+		p = p[20:]
+		r.MBR = geom.MBR{Min: make(geom.Point, dim), Max: make(geom.Point, dim)}
+		for d := 0; d < dim; d++ {
+			r.MBR.Min[d] = math.Float64frombits(binary.LittleEndian.Uint64(p[d*8:]))
+		}
+		p = p[dim*8:]
+		for d := 0; d < dim; d++ {
+			r.MBR.Max[d] = math.Float64frombits(binary.LittleEndian.Uint64(p[d*8:]))
+		}
+		p = p[dim*8:]
+		for d := 0; d < 4; d++ {
+			r.Feat[d] = math.Float64frombits(binary.LittleEndian.Uint64(p[d*8:]))
+		}
+		if r.MBR.IsEmpty() {
+			return 0, nil, fmt.Errorf("record %d has an empty MBR", i)
+		}
+	}
+	return dim, recs, nil
+}
+
+// Path returns the segment's file path.
+func (s *Segment) Path() string { return s.path }
+
+// Dim returns the data-space dimensionality.
+func (s *Segment) Dim() int { return s.dim }
+
+// Len returns the number of records in the segment (tombstones are a
+// store-level concept; the segment itself is immutable).
+func (s *Segment) Len() int { return len(s.recs) }
+
+// Bytes returns the total encoded size of the segment's record blobs.
+func (s *Segment) Bytes() int { return s.payload }
+
+// Records returns the segment's records in archive (FIFO) order. The
+// returned slice is shared and must not be modified.
+func (s *Segment) Records() []Record { return s.recs }
+
+// Get returns the record with the given id.
+func (s *Segment) Get(id int64) (Record, bool) {
+	i, ok := s.byID[id]
+	if !ok {
+		return Record{}, false
+	}
+	return s.recs[i], true
+}
+
+// SearchLocation visits records whose MBR intersects the query box.
+// Iteration stops early if visit returns false.
+func (s *Segment) SearchLocation(q geom.MBR, visit func(Record) bool) {
+	s.loc.SearchIntersect(q, func(it rtree.Item) bool {
+		return visit(s.recs[s.byID[it.ID]])
+	})
+}
+
+// SearchFeatures visits records whose feature vector lies inside the
+// inclusive hyper-rectangle [lo, hi]. Iteration stops early if visit
+// returns false.
+func (s *Segment) SearchFeatures(lo, hi [4]float64, visit func(Record) bool) {
+	s.feat.Search(lo, hi, func(fe featidx.Entry) bool {
+		return visit(s.recs[s.byID[fe.ID]])
+	})
+}
+
+// Load reads and decodes one record's summary from disk (pread; safe
+// for any number of concurrent callers).
+func (s *Segment) Load(r Record) (*sgs.Summary, error) {
+	blob := make([]byte, r.Len)
+	if _, err := s.f.ReadAt(blob, r.Off); err != nil {
+		return nil, fmt.Errorf("segstore: %s: read record %d: %w", s.path, r.ID, err)
+	}
+	sum, err := sgs.Unmarshal(blob)
+	if err != nil {
+		return nil, fmt.Errorf("segstore: %s: record %d: %w", s.path, r.ID, err)
+	}
+	return sum, nil
+}
+
+// LoadBlob reads one record's raw encoded blob.
+func (s *Segment) LoadBlob(r Record) ([]byte, error) {
+	blob := make([]byte, r.Len)
+	if _, err := s.f.ReadAt(blob, r.Off); err != nil {
+		return nil, fmt.Errorf("segstore: %s: read record %d: %w", s.path, r.ID, err)
+	}
+	return blob, nil
+}
+
+func (s *Segment) close() error {
+	runtime.SetFinalizer(s, nil)
+	return s.f.Close()
+}

@@ -1,0 +1,472 @@
+package segstore
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+var manifestMagic = [8]byte{'S', 'G', 'S', 'M', 'A', 'N', '1', '\n'}
+
+const (
+	manifestName = "MANIFEST"
+	segSuffix    = ".sgsseg"
+)
+
+// ErrBadManifest is returned when the store's MANIFEST file fails
+// validation (bad magic, torn bytes, CRC mismatch). The manifest is
+// replaced atomically, so a damaged one signals external interference,
+// not a crash — recovery refuses to guess.
+var ErrBadManifest = errors.New("segstore: bad manifest")
+
+// Options configures a store.
+type Options struct {
+	// Dim is the data-space dimensionality (required).
+	Dim int
+	// TargetSegmentBytes is the compaction goal: adjacent runs of
+	// segments whose live payload is below this merge into one.
+	// Default 256 KiB.
+	TargetSegmentBytes int
+	// NoBackgroundCompaction disables the compactor goroutine; CompactNow
+	// still works (tools, deterministic tests).
+	NoBackgroundCompaction bool
+}
+
+func (o *Options) fill() {
+	if o.TargetSegmentBytes <= 0 {
+		o.TargetSegmentBytes = 256 << 10
+	}
+}
+
+// Stats is a point-in-time summary of the store for diagnostics and
+// monitoring endpoints.
+type Stats struct {
+	Segments    int
+	Records     int // including tombstoned records not yet compacted away
+	LiveRecords int
+	Bytes       int // encoded payload bytes on disk, including tombstoned
+	LiveBytes   int
+	Tombstones  int
+	Compactions uint64
+}
+
+// Store is a directory of immutable segments tracked by an atomically
+// rewritten manifest. All exported methods are safe for concurrent use.
+type Store struct {
+	dir  string
+	opts Options
+
+	cmu sync.Mutex // serializes compactions (background loop vs CompactNow)
+
+	mu          sync.Mutex
+	seq         uint64 // next segment file number
+	segs        []*Segment
+	tombs       map[int64]struct{}
+	maxID       int64
+	compactions uint64
+	closed      bool
+
+	wake chan struct{} // buffered(1) compactor signal
+	done chan struct{} // closed when the compactor exits
+}
+
+// Open opens (or creates) the store rooted at dir. Segment files present
+// in the directory but not listed in the manifest are leftovers of an
+// uncommitted flush or compaction and are removed; a segment the
+// manifest does list must validate, or Open fails.
+func Open(dir string, opts Options) (*Store, error) {
+	if opts.Dim < 1 {
+		return nil, fmt.Errorf("segstore: dimension required")
+	}
+	opts.fill()
+	if err := os.MkdirAll(dir, 0o777); err != nil {
+		return nil, err
+	}
+	st := &Store{
+		dir: dir, opts: opts,
+		maxID: -1,
+		tombs: make(map[int64]struct{}),
+		wake:  make(chan struct{}, 1),
+		done:  make(chan struct{}),
+	}
+	names, err := st.loadManifest()
+	if err != nil {
+		return nil, err
+	}
+	listed := make(map[string]bool, len(names))
+	for _, name := range names {
+		listed[name] = true
+		seg, err := OpenSegment(filepath.Join(dir, name))
+		if err != nil {
+			return nil, err
+		}
+		if seg.dim != opts.Dim {
+			return nil, fmt.Errorf("segstore: %s: dimension %d != store dimension %d", name, seg.dim, opts.Dim)
+		}
+		st.segs = append(st.segs, seg)
+		for _, r := range seg.recs {
+			if r.ID > st.maxID {
+				st.maxID = r.ID
+			}
+		}
+	}
+	// Remove uncommitted leftovers (their entries were still owned by the
+	// memory tier when the crash hit).
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	for _, de := range entries {
+		name := de.Name()
+		if listed[name] || name == manifestName {
+			continue
+		}
+		if strings.HasSuffix(name, segSuffix) || strings.HasSuffix(name, ".tmp") {
+			_ = os.Remove(filepath.Join(dir, name))
+		}
+	}
+	if opts.NoBackgroundCompaction {
+		close(st.done)
+	} else {
+		go st.compactLoop()
+	}
+	return st, nil
+}
+
+// loadManifest parses MANIFEST, returning the listed segment file names
+// in archive order. A missing manifest means a fresh store.
+func (st *Store) loadManifest() ([]string, error) {
+	b, err := os.ReadFile(filepath.Join(st.dir, manifestName))
+	if os.IsNotExist(err) {
+		return nil, nil
+	} else if err != nil {
+		return nil, err
+	}
+	if len(b) < len(manifestMagic)+1+8+4+4+4 || [8]byte(b[:8]) != manifestMagic {
+		return nil, fmt.Errorf("%w: bad magic", ErrBadManifest)
+	}
+	if crc32.ChecksumIEEE(b[:len(b)-4]) != binary.LittleEndian.Uint32(b[len(b)-4:]) {
+		return nil, fmt.Errorf("%w: CRC mismatch", ErrBadManifest)
+	}
+	p := b[8 : len(b)-4]
+	if int(p[0]) != st.opts.Dim {
+		return nil, fmt.Errorf("segstore: manifest dimension %d != store dimension %d", p[0], st.opts.Dim)
+	}
+	st.seq = binary.LittleEndian.Uint64(p[1:])
+	p = p[9:]
+	nsegs := binary.LittleEndian.Uint32(p)
+	p = p[4:]
+	names := make([]string, 0, nsegs)
+	for i := uint32(0); i < nsegs; i++ {
+		if len(p) < 2 {
+			return nil, fmt.Errorf("%w: truncated segment list", ErrBadManifest)
+		}
+		n := int(binary.LittleEndian.Uint16(p))
+		p = p[2:]
+		if len(p) < n {
+			return nil, fmt.Errorf("%w: truncated segment name", ErrBadManifest)
+		}
+		names = append(names, string(p[:n]))
+		p = p[n:]
+	}
+	if len(p) < 4 {
+		return nil, fmt.Errorf("%w: truncated tombstones", ErrBadManifest)
+	}
+	ntombs := binary.LittleEndian.Uint32(p)
+	p = p[4:]
+	if len(p) != int(ntombs)*8 {
+		return nil, fmt.Errorf("%w: tombstone list size", ErrBadManifest)
+	}
+	for i := uint32(0); i < ntombs; i++ {
+		st.tombs[int64(binary.LittleEndian.Uint64(p[i*8:]))] = struct{}{}
+	}
+	return names, nil
+}
+
+// commitManifestLocked atomically replaces MANIFEST with one describing
+// segs + st.tombs. It is the commit point of every store mutation: only
+// after it returns does the caller install segs as st.segs.
+func (st *Store) commitManifestLocked(segs []*Segment) error {
+	buf := make([]byte, 0, 64+len(segs)*40+len(st.tombs)*8)
+	buf = append(buf, manifestMagic[:]...)
+	buf = append(buf, byte(st.opts.Dim))
+	var n8 [8]byte
+	binary.LittleEndian.PutUint64(n8[:], st.seq)
+	buf = append(buf, n8[:]...)
+	var n4 [4]byte
+	binary.LittleEndian.PutUint32(n4[:], uint32(len(segs)))
+	buf = append(buf, n4[:]...)
+	for _, s := range segs {
+		name := filepath.Base(s.path)
+		var n2 [2]byte
+		binary.LittleEndian.PutUint16(n2[:], uint16(len(name)))
+		buf = append(buf, n2[:]...)
+		buf = append(buf, name...)
+	}
+	// Sorted tombstones keep the manifest bytes deterministic for a given
+	// logical state.
+	tombs := make([]int64, 0, len(st.tombs))
+	for id := range st.tombs {
+		tombs = append(tombs, id)
+	}
+	sort.Slice(tombs, func(i, j int) bool { return tombs[i] < tombs[j] })
+	binary.LittleEndian.PutUint32(n4[:], uint32(len(tombs)))
+	buf = append(buf, n4[:]...)
+	for _, id := range tombs {
+		binary.LittleEndian.PutUint64(n8[:], uint64(id))
+		buf = append(buf, n8[:]...)
+	}
+	binary.LittleEndian.PutUint32(n4[:], crc32.ChecksumIEEE(buf))
+	buf = append(buf, n4[:]...)
+
+	tmp := filepath.Join(st.dir, manifestName+".tmp")
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(buf); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, filepath.Join(st.dir, manifestName)); err != nil {
+		return err
+	}
+	st.syncDir()
+	return nil
+}
+
+// syncDir makes renames durable (best effort: some filesystems refuse
+// directory fsync).
+func (st *Store) syncDir() {
+	if d, err := os.Open(st.dir); err == nil {
+		_ = d.Sync()
+		_ = d.Close()
+	}
+}
+
+// Flush writes entries (archive order) as one new immutable segment and
+// commits it to the manifest. On error nothing is committed: the store's
+// live state is unchanged and any partial file is an orphan the next
+// Open removes.
+func (st *Store) Flush(entries []FlushEntry) error {
+	if len(entries) == 0 {
+		return nil
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.closed {
+		return fmt.Errorf("segstore: store is closed")
+	}
+	name := fmt.Sprintf("seg-%08d%s", st.seq, segSuffix)
+	st.seq++
+	path := filepath.Join(st.dir, name)
+	tmp := path + ".tmp"
+	if err := writeSegment(tmp, st.opts.Dim, entries); err != nil {
+		_ = os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		_ = os.Remove(tmp)
+		return err
+	}
+	st.syncDir()
+	seg, err := OpenSegment(path)
+	if err != nil {
+		return err
+	}
+	newSegs := append(append([]*Segment(nil), st.segs...), seg)
+	if err := st.commitManifestLocked(newSegs); err != nil {
+		return err
+	}
+	st.segs = newSegs
+	for _, e := range entries {
+		if e.ID > st.maxID {
+			st.maxID = e.ID
+		}
+	}
+	st.signalCompactLocked()
+	return nil
+}
+
+// Tombstone marks an id deleted. It reports whether the id was live in
+// some segment; the bytes are reclaimed by a later compaction.
+func (st *Store) Tombstone(id int64) (bool, error) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.closed {
+		return false, fmt.Errorf("segstore: store is closed")
+	}
+	if _, dead := st.tombs[id]; dead {
+		return false, nil
+	}
+	found := false
+	for _, s := range st.segs {
+		if _, ok := s.byID[id]; ok {
+			found = true
+			break
+		}
+	}
+	if !found {
+		return false, nil
+	}
+	st.tombs[id] = struct{}{}
+	if err := st.commitManifestLocked(st.segs); err != nil {
+		delete(st.tombs, id)
+		return false, err
+	}
+	st.signalCompactLocked()
+	return true, nil
+}
+
+// Find returns the record holding the given live (non-tombstoned) id.
+func (st *Store) Find(id int64) (Record, bool) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if _, dead := st.tombs[id]; dead {
+		return Record{}, false
+	}
+	for _, seg := range st.segs {
+		if r, ok := seg.Get(id); ok {
+			return r, true
+		}
+	}
+	return Record{}, false
+}
+
+// MaxID returns the largest record id ever committed to the store (-1
+// for an empty store); the archiver resumes id assignment above it.
+func (st *Store) MaxID() int64 {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.maxID
+}
+
+// Stats returns current store statistics.
+func (st *Store) Stats() Stats {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	s := Stats{Segments: len(st.segs), Tombstones: len(st.tombs), Compactions: st.compactions}
+	for _, seg := range st.segs {
+		s.Records += len(seg.recs)
+		s.Bytes += seg.payload
+	}
+	s.LiveRecords, s.LiveBytes = s.Records, s.Bytes
+	st.subtractTombsLocked(&s.LiveRecords, &s.LiveBytes)
+	return s
+}
+
+// subtractTombsLocked deducts every tombstoned record still present in a
+// live segment from the given live totals — O(tombstones × segments),
+// never O(records); tombstones are rare and compaction reclaims them.
+func (st *Store) subtractTombsLocked(count, bytes *int) {
+	for id := range st.tombs {
+		for _, seg := range st.segs {
+			if r, ok := seg.Get(id); ok {
+				*count--
+				*bytes -= int(r.Len)
+				break
+			}
+		}
+	}
+}
+
+// View is an immutable point-in-time view of the store: the segment set
+// and tombstones as of its creation. Flushes, tombstones and compactions
+// committed later are not visible. A View needs no explicit release —
+// segments it pins stay readable (even after compaction unlinks their
+// files) until the View becomes unreachable.
+type View struct {
+	segs  []*Segment
+	tombs map[int64]struct{}
+	count int
+	bytes int
+}
+
+// View pins the current store state.
+func (st *Store) View() *View {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	v := &View{segs: st.segs}
+	if len(st.tombs) > 0 {
+		v.tombs = make(map[int64]struct{}, len(st.tombs))
+		for id := range st.tombs {
+			v.tombs[id] = struct{}{}
+		}
+	}
+	for _, seg := range st.segs {
+		v.count += len(seg.recs)
+		v.bytes += seg.payload
+	}
+	// Views are pinned on the snapshot path (every Base.Snapshot after a
+	// mutation), so totals come from the cached per-segment sums rather
+	// than a rescan of the history.
+	st.subtractTombsLocked(&v.count, &v.bytes)
+	return v
+}
+
+// Segments returns the pinned segments in archive (FIFO) order. The
+// slice is shared and must not be modified.
+func (v *View) Segments() []*Segment { return v.segs }
+
+// Dead reports whether the id was tombstoned as of the view.
+func (v *View) Dead(id int64) bool {
+	_, dead := v.tombs[id]
+	return dead
+}
+
+// Len returns the number of live records in the view.
+func (v *View) Len() int { return v.count }
+
+// Bytes returns the total encoded size of the view's live records.
+func (v *View) Bytes() int { return v.bytes }
+
+// Get returns the segment and record holding the given live id.
+func (v *View) Get(id int64) (*Segment, Record, bool) {
+	if v.Dead(id) {
+		return nil, Record{}, false
+	}
+	for _, seg := range v.segs {
+		if r, ok := seg.Get(id); ok {
+			return seg, r, true
+		}
+	}
+	return nil, Record{}, false
+}
+
+// Close stops the compactor and closes every live segment. Views pinned
+// before Close must not be used afterwards.
+func (st *Store) Close() error {
+	st.mu.Lock()
+	if st.closed {
+		st.mu.Unlock()
+		return nil
+	}
+	st.closed = true
+	close(st.wake)
+	st.mu.Unlock()
+	<-st.done
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	var err error
+	for _, seg := range st.segs {
+		if cerr := seg.close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}
+	// The segment list stays: Stats keeps answering from the in-memory
+	// footers after Close (shutdown reporting); reads do not.
+	return err
+}

@@ -225,6 +225,13 @@ func (f Features) Vector() [4]float64 {
 	return [4]float64{f.Volume, f.StatusCount, f.AvgDensity, f.AvgConnectivity}
 }
 
+// FeaturesFromVector is the inverse of Features.Vector, used when the
+// features come back from an index that stores them in vector form
+// (e.g. a segment footer) rather than from the summary itself.
+func FeaturesFromVector(v [4]float64) Features {
+	return Features{Volume: v[0], StatusCount: v[1], AvgDensity: v[2], AvgConnectivity: v[3]}
+}
+
 // Validate checks structural invariants of a summary: sorted unique cells,
 // edge cells with no connections, connections referencing existing cells,
 // and core-core connection symmetry. Used by tests and after decoding

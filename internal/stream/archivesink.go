@@ -12,9 +12,12 @@ import (
 // appended with a single PutBatch (one base lock acquisition per window,
 // however many clusters it emitted), and because the base is
 // snapshot-isolated, analysts matching against it never stall the
-// shards' append path. When next is non-nil it is invoked after
-// archiving, preserving the Sharded executor's serialized consumer
-// contract.
+// shards' append path. Store-backed bases (archive.Config.StorePath)
+// need no extra wiring: demotion to disk segments happens inside
+// PutBatch when memory or capacity pressure hits, so N shards can feed
+// one base whose history spills to disk. When next is non-nil it is
+// invoked after archiving, preserving the Sharded executor's serialized
+// consumer contract.
 func ArchiveWindows(base *archive.Base, next func(shard int, w *core.WindowResult) error) func(int, *core.WindowResult) error {
 	return func(shard int, w *core.WindowResult) error {
 		sums := make([]*sgs.Summary, 0, len(w.Clusters))

@@ -48,9 +48,22 @@
 // block archiving, so they are safe from any number of goroutines
 // concurrently with ingestion — including N sharded engines feeding one
 // shared base. The matcher mirrors the output stage's structure: a
-// sequential index-probe filter phase, a parallel per-candidate refine
-// phase across Options.MatchWorkers goroutines, and a sequential
-// order/limit phase, with results byte-identical at every worker count.
+// parallel index-probe filter phase (one probe per tier shard), a
+// parallel per-candidate refine phase across Options.MatchWorkers
+// goroutines, and a sequential order/limit phase, with results
+// byte-identical at every worker count.
+//
+// # Tiered history
+//
+// With Options.StorePath the pattern base tiers to disk: summaries
+// evicted from the memory tier (bounded by Options.StoreMaxMemBytes
+// and/or the archive Capacity) demote into immutable on-disk segments
+// that remain fully matchable — the filter phase probes every segment's
+// footer indexes in parallel and the refine phase reads candidate cells
+// lazily, so the archived history can grow far past RAM while query
+// results stay byte-identical to an all-in-memory base. Call Close at
+// shutdown to flush the memory tier and make the store directory a
+// complete, reopenable record of the stream history.
 //
 // # Quick start
 //
@@ -162,11 +175,24 @@ type Options struct {
 	// alike — the output stage runs whenever a window completes — and
 	// results are byte-identical at every setting.
 	EmitWorkers int
-	// MatchWorkers bounds the matching pipeline's parallel refine phase
-	// (the per-candidate grid-cell-level distance evaluations): <= 0
-	// means one worker per available CPU, 1 forces the fully sequential
-	// matcher. Results are byte-identical at every setting.
+	// MatchWorkers bounds the matching pipeline's parallel phases (the
+	// per-shard filter probes and the per-candidate grid-cell-level
+	// distance evaluations): <= 0 means one worker per available CPU, 1
+	// forces the fully sequential matcher. Results are byte-identical at
+	// every setting.
 	MatchWorkers int
+	// StorePath, when non-empty, attaches a disk tier to the pattern base
+	// (requires Archive): entries evicted from the memory tier demote
+	// into immutable on-disk segments under this directory and remain
+	// fully matchable, so the archived history can grow past RAM.
+	// Reopening an engine over an existing store resumes with the
+	// on-disk history visible.
+	StorePath string
+	// StoreMaxMemBytes bounds the pattern base's memory tier (encoded
+	// summary bytes); overflow demotes the oldest entries to the disk
+	// tier. Requires StorePath; 0 means no byte bound (demotion then
+	// happens only via Archive.Capacity pressure).
+	StoreMaxMemBytes int
 }
 
 // Engine is the end-to-end system of the paper's Figure 4: pattern
@@ -210,6 +236,12 @@ func New(opts Options) (*Engine, error) {
 		return nil, err
 	}
 	e := &Engine{opts: opts, proc: proc}
+	if opts.StorePath != "" && opts.Archive == nil {
+		return nil, fmt.Errorf("streamsum: StorePath requires archiving (set Options.Archive)")
+	}
+	if opts.StoreMaxMemBytes > 0 && opts.StorePath == "" {
+		return nil, fmt.Errorf("streamsum: StoreMaxMemBytes requires StorePath")
+	}
 	if opts.Archive != nil {
 		// Theta is passed through as configured: a Level or ByteBudget
 		// that demands compression without a valid compression rate is a
@@ -218,6 +250,8 @@ func New(opts Options) (*Engine, error) {
 		// defaults it explicitly instead).
 		ac := *opts.Archive
 		ac.Dim = opts.Dim
+		ac.StorePath = opts.StorePath
+		ac.MaxMemBytes = opts.StoreMaxMemBytes
 		e.base, err = archive.New(ac)
 		if err != nil {
 			return nil, err
@@ -230,11 +264,32 @@ func New(opts Options) (*Engine, error) {
 	return e, nil
 }
 
+// Close releases the engine. With a disk-backed pattern base (StorePath)
+// it first demotes the memory tier to the store as one final segment —
+// making the store directory alone a complete, reopenable record of the
+// archived history — then stops the store's compactor and closes its
+// files. Serve all in-flight matching queries before calling Close;
+// snapshots must not be used afterwards. Without a store Close is a
+// no-op.
+func (e *Engine) Close() error {
+	if e.base == nil {
+		return nil
+	}
+	if e.opts.StorePath != "" {
+		if err := e.base.FlushMem(); err != nil {
+			_ = e.base.Close()
+			return err
+		}
+	}
+	return e.base.Close()
+}
+
 // OptionsFromQuery parses a DETECT query in the paper's query language
 // (Figure 2) into engine Options. dim supplies the tuple dimensionality,
 // which the query language leaves to the schema. Execution-side knobs the
 // language does not cover (Workers, EmitWorkers, MatchWorkers, Archive,
-// ArchiveNovelty) can be set on the returned Options before calling New.
+// ArchiveNovelty, StorePath, StoreMaxMemBytes) can be set on the returned
+// Options before calling New.
 func OptionsFromQuery(q string, dim int) (Options, error) {
 	cq, err := query.ParseCluster(q)
 	if err != nil {
@@ -350,35 +405,79 @@ func (e *Engine) archiveWindow(w *WindowResult) error {
 		return nil
 	}
 	if e.opts.ArchiveNovelty > 0 {
-		// Evolution-driven archiving: skip patterns already represented
-		// in the base within the novelty threshold. Each Put must be
-		// visible to the next summary's novelty probe, so this path
-		// stays per-cluster.
-		for _, c := range w.Clusters {
-			if c.Summary == nil {
-				continue
-			}
-			if e.base.Len() > 0 {
-				ms, _, err := match.Run(e.base, match.Query{
-					Target:    c.Summary,
-					Threshold: e.opts.ArchiveNovelty,
-					Limit:     1,
-					Workers:   e.opts.MatchWorkers,
-				})
-				if err != nil {
-					return err
-				}
-				if len(ms) > 0 {
-					continue
-				}
-			}
-			if _, _, err := e.base.Put(c.Summary); err != nil {
-				return err
-			}
-		}
-		return nil
+		return e.archiveNovelWindow(w)
 	}
 	return e.sink(0, w)
+}
+
+// archiveNovelWindow is evolution-driven archiving: a summary enters the
+// base only if nothing already archived matches it within the novelty
+// threshold, so the base stores each recurring pattern once instead of
+// once per window.
+//
+// The whole window is novelty-tested in one batched match.Any pass over
+// a single pre-window snapshot (one filter-and-refine pipeline for all
+// summaries, instead of one full query per summary), then a cheap
+// sequential pass resolves novelty among the window's own survivors —
+// summary i is also suppressed by a window-mate j < i that was archived,
+// exactly as the per-cluster probe loop would have seen it. The one
+// semantic difference from per-cluster probing: an old entry evicted by
+// capacity pressure mid-window still suppresses later window-mates here
+// (the pass pins the pre-window state), which matters only for
+// capacity-bounded bases and is the price of running one pass.
+func (e *Engine) archiveNovelWindow(w *WindowResult) error {
+	sums := make([]*Summary, 0, len(w.Clusters))
+	for _, c := range w.Clusters {
+		if c.Summary != nil {
+			sums = append(sums, c.Summary)
+		}
+	}
+	if len(sums) == 0 {
+		return nil
+	}
+	matched := make([]bool, len(sums))
+	if e.base.Len() > 0 {
+		var err error
+		matched, err = match.Any(e.base.Snapshot(), sums, match.Query{
+			Threshold: e.opts.ArchiveNovelty,
+			Workers:   e.opts.MatchWorkers,
+		})
+		if err != nil {
+			return err
+		}
+	}
+	// Intra-window novelty among the survivors, against the summaries as
+	// stored (the archiver may have re-compressed them): the same
+	// cluster-feature gate + grid-level distance the matcher applies.
+	ew := match.EqualWeights()
+	var added []*Summary
+	for i, s := range sums {
+		if matched[i] {
+			continue
+		}
+		tf := s.Features().Vector()
+		novel := true
+		for _, a := range added {
+			if match.FeatureDistance(tf, a.Features().Vector(), ew) <= e.opts.ArchiveNovelty &&
+				match.RefineDistance(s, a, ew, match.DefaultAlignBudget) <= e.opts.ArchiveNovelty {
+				novel = false
+				break
+			}
+		}
+		if !novel {
+			continue
+		}
+		id, ok, err := e.base.Put(s)
+		if err != nil {
+			return err
+		}
+		if ok {
+			if en := e.base.Get(id); en != nil {
+				added = append(added, en.Summary)
+			}
+		}
+	}
+	return nil
 }
 
 // PatternBase returns the engine's archive, or nil if archiving is
