@@ -29,9 +29,19 @@
 // snapshot-isolated, so analyst queries never stall archiving:
 //
 //	GET /match?q=GIVEN+DensityBasedCluster+3+SELECT+...   (target = archive id)
+//	GET /subscribe?q=GIVEN+DensityBasedCluster+3+SELECT+...+FROM+Stream+...
 //	GET /stats
 //
-// The matcher's refine phase fans out across -match-workers goroutines.
+// /match runs a one-shot FROM History query. /subscribe registers a
+// standing FROM Stream query and holds the connection open, emitting one
+// JSON event per matching cluster as windows are archived (NDJSON by
+// default, Server-Sent Events with "Accept: text/event-stream"; add
+// &track=1 for cluster evolution events on the same stream);
+// evaluation is inverted and incremental, so each live subscription
+// costs index probes per window, not a history scan. Error hygiene: a
+// malformed query is a 400 carrying the parse error, an unknown archive
+// id is a 404. The matcher's refine phase fans out across -match-workers
+// goroutines and subscription evaluation across -sub-workers.
 package main
 
 import (
@@ -92,6 +102,7 @@ func main() {
 	batch := flag.Int("batch", 0, "ingest batch size; 0 pushes tuple-by-tuple, otherwise tuples are fed through PushBatch in batches of this size (the query's slide is a good value)")
 	emitWorkers := flag.Int("emit-workers", 0, "parallel output-stage workers for per-cluster summary construction (0 = one per CPU, 1 = sequential); windows are byte-identical at every setting")
 	matchWorkers := flag.Int("match-workers", 0, "parallel matching workers for the filter and refine phases of /match queries (0 = one per CPU, 1 = sequential); results are byte-identical at every setting")
+	subWorkers := flag.Int("sub-workers", 0, "parallel standing-query evaluation workers for /subscribe (0 = one per CPU, 1 = sequential); events are byte-identical at every setting")
 	httpAddr := flag.String("http", "", "serve matching queries over HTTP on this address (e.g. :8080) concurrently with ingestion; implies archiving")
 	storePath := flag.String("store", "", "attach a disk tier to the pattern base under this directory; implies archiving. Evicted summaries demote into on-disk segments (inspect with sgstool inspect), stay matchable, and survive restarts — the memory tier is flushed to the store on clean exit")
 	storeMem := flag.Int("store-mem", 0, "memory-tier byte budget for the pattern base (requires -store); overflow demotes the oldest summaries to disk. 0 = no byte bound")
@@ -184,6 +195,7 @@ Flags:
 	opts.Workers = *workers
 	opts.EmitWorkers = *emitWorkers
 	opts.MatchWorkers = *matchWorkers
+	opts.SubWorkers = *subWorkers
 	opts.StorePath = *storePath
 	opts.StoreMaxMemBytes = *storeMem
 	eng, err := streamsum.New(opts)
@@ -192,11 +204,15 @@ Flags:
 	}
 
 	var srv *http.Server
+	// Closed before srv.Shutdown so open /subscribe streams end — an SSE
+	// connection never goes idle on its own, and Shutdown waits for idle.
+	shutdownCh := make(chan struct{})
 	if *httpAddr != "" {
 		// The pattern base is snapshot-isolated, so these handlers run
 		// concurrently with the ingest loop below without coordination.
 		mux := http.NewServeMux()
 		mux.HandleFunc("/match", matchHandler(eng))
+		mux.HandleFunc("/subscribe", subscribeHandler(eng, shutdownCh))
 		mux.HandleFunc("/stats", statsHandler(eng))
 		ln, err := net.Listen("tcp", *httpAddr)
 		if err != nil {
@@ -344,6 +360,9 @@ Flags:
 			fmt.Fprintln(os.Stderr, "sgsd: second interrupt; exiting without draining or flushing the store")
 			os.Exit(1)
 		}()
+		// End the standing-query streams first: their connections never go
+		// idle on their own, and Shutdown's drain waits for idle.
+		close(shutdownCh)
 		if err := srv.Shutdown(context.Background()); err != nil {
 			fmt.Fprintf(os.Stderr, "sgsd: http drain: %v\n", err)
 		}
@@ -391,6 +410,24 @@ type matchJSON struct {
 	Cells    int     `json:"cells"`
 }
 
+// resolveTarget resolves a query's GIVEN reference as an archive id
+// against the live pattern base — the shared preamble of /match and
+// /subscribe. On failure it writes the response (400 for a non-integer
+// reference, 404 for an unknown id) and reports ok=false.
+func resolveTarget(eng *streamsum.Engine, w http.ResponseWriter, ref string) (*streamsum.ArchiveEntry, bool) {
+	id, err := strconv.ParseInt(ref, 10, 64)
+	if err != nil {
+		http.Error(w, fmt.Sprintf("target %q must be an archive id", ref), http.StatusBadRequest)
+		return nil, false
+	}
+	e := eng.PatternBase().Get(id)
+	if e == nil {
+		http.Error(w, fmt.Sprintf("no archived cluster %d", id), http.StatusNotFound)
+		return nil, false
+	}
+	return e, true
+}
+
 // matchHandler executes a Figure 3 matching query against the live
 // pattern base. The query's GIVEN reference is resolved as an archive
 // id, so analysts ask "what looks like cluster 17?" while the stream is
@@ -408,16 +445,11 @@ func matchHandler(eng *streamsum.Engine) http.HandlerFunc {
 			http.Error(w, err.Error(), http.StatusBadRequest)
 			return
 		}
-		id, err := strconv.ParseInt(ref, 10, 64)
-		if err != nil {
-			http.Error(w, fmt.Sprintf("target %q must be an archive id", ref), http.StatusBadRequest)
+		e, ok := resolveTarget(eng, w, ref)
+		if !ok {
 			return
 		}
-		e := eng.PatternBase().Get(id)
-		if e == nil {
-			http.Error(w, fmt.Sprintf("no archived cluster %d", id), http.StatusNotFound)
-			return
-		}
+		id := e.ID
 		mo.Target = e.Summary
 		limit := mo.Limit
 		if limit > 0 {
@@ -450,23 +482,165 @@ func matchHandler(eng *streamsum.Engine) http.HandlerFunc {
 	}
 }
 
-// statsHandler reports the pattern base's current size, split across
-// the memory and disk tiers.
+// The /subscribe stream's event shapes, one struct per event type so
+// every field a type carries is always present on the wire (ids,
+// sequence numbers and distances are all legitimately zero — omitempty
+// would erase them for non-Go consumers). The first line of every
+// stream is the "subscribed" handshake with the subscription id.
+type subHandshakeJSON struct {
+	Type  string `json:"type"` // "subscribed"
+	SubID int64  `json:"sub"`
+}
+
+type subMatchJSON struct {
+	Type     string  `json:"type"` // "match"
+	SubID    int64   `json:"sub"`
+	Seq      uint64  `json:"seq"`
+	ID       int64   `json:"id"`
+	Distance float64 `json:"distance"`
+	Window   int64   `json:"window"`
+	Cells    int     `json:"cells"`
+}
+
+type subEvolutionJSON struct {
+	Type    string  `json:"type"` // "evolution"
+	SubID   int64   `json:"sub"`
+	Seq     uint64  `json:"seq"`
+	Kind    string  `json:"kind"`
+	TrackID int64   `json:"track"`
+	Preds   []int64 `json:"predecessors,omitempty"`
+}
+
+// subscribeHandler registers a standing matching query (Figure 3 with
+// FROM Stream, target = archive id) and streams its events until the
+// client disconnects or the server shuts down. Events are NDJSON by
+// default, SSE frames when the client sends Accept: text/event-stream.
+// A malformed or non-standing query is a 400 with the parse error; an
+// unknown archive id is a 404.
+func subscribeHandler(eng *streamsum.Engine, shutdown <-chan struct{}) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		qs := r.URL.Query().Get("q")
+		if qs == "" {
+			http.Error(w, "missing q parameter (a GIVEN ... FROM Stream ... standing query)", http.StatusBadRequest)
+			return
+		}
+		so, ref, err := streamsum.SubscribeOptionsFromQuery(qs)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		e, ok := resolveTarget(eng, w, ref)
+		if !ok {
+			return
+		}
+		so.Target = e.Summary
+		if tv := r.URL.Query().Get("track"); tv != "" {
+			track, err := strconv.ParseBool(tv)
+			if err != nil {
+				http.Error(w, fmt.Sprintf("bad track parameter %q: want a boolean", tv), http.StatusBadRequest)
+				return
+			}
+			so.Track = track
+		}
+		s, err := eng.Subscribe(so)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		defer eng.Unsubscribe(s)
+
+		flusher, ok := w.(http.Flusher)
+		if !ok {
+			http.Error(w, "streaming unsupported", http.StatusInternalServerError)
+			return
+		}
+		sse := strings.Contains(r.Header.Get("Accept"), "text/event-stream")
+		if sse {
+			w.Header().Set("Content-Type", "text/event-stream")
+		} else {
+			w.Header().Set("Content-Type", "application/x-ndjson")
+		}
+		w.Header().Set("Cache-Control", "no-cache")
+		emit := func(ev any) bool {
+			b, err := json.Marshal(ev)
+			if err != nil {
+				return false
+			}
+			if sse {
+				_, err = fmt.Fprintf(w, "data: %s\n\n", b)
+			} else {
+				_, err = fmt.Fprintf(w, "%s\n", b)
+			}
+			if err != nil {
+				return false
+			}
+			flusher.Flush()
+			return true
+		}
+		if !emit(subHandshakeJSON{Type: "subscribed", SubID: s.ID()}) {
+			return
+		}
+		for {
+			select {
+			case ev, ok := <-s.Events():
+				if !ok {
+					return
+				}
+				var out any
+				switch ev.Kind {
+				case streamsum.SubMatch:
+					out = subMatchJSON{
+						Type: "match", SubID: ev.SubID, Seq: ev.Seq,
+						ID: ev.EntryID, Distance: ev.Distance,
+						Window: ev.Entry.Summary.Window, Cells: ev.Entry.Summary.NumCells(),
+					}
+				case streamsum.SubEvolution:
+					out = subEvolutionJSON{
+						Type: "evolution", SubID: ev.SubID, Seq: ev.Seq,
+						Kind: ev.Track.Kind.String(), TrackID: ev.Track.TrackID,
+						Preds: ev.Track.Predecessors,
+					}
+				default:
+					continue
+				}
+				if !emit(out) {
+					return
+				}
+			case <-r.Context().Done():
+				return
+			case <-shutdown:
+				return
+			}
+		}
+	}
+}
+
+// statsHandler reports the pattern base's current size (split across the
+// memory and disk tiers) and the standing-query registry's activity.
 func statsHandler(eng *streamsum.Engine) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		base := eng.PatternBase()
 		ts := base.TierStats()
+		ss := eng.SubscriptionStats()
 		w.Header().Set("Content-Type", "application/json")
 		_ = json.NewEncoder(w).Encode(map[string]any{
 			"clusters":            base.Len(),
 			"bytes":               base.Bytes(),
 			"mem_clusters":        ts.MemEntries,
 			"mem_bytes":           ts.MemBytes,
+			"demoting_clusters":   ts.DemotingEntries,
+			"demoting_bytes":      ts.DemotingBytes,
 			"segments":            ts.Segments,
 			"segment_clusters":    ts.SegEntries,
 			"segment_bytes":       ts.SegBytes,
 			"segment_dead":        ts.SegDead,
 			"segment_compactions": ts.Compactions,
+			"subscriptions":       ss.Subscriptions,
+			"sub_windows":         ss.Windows,
+			"sub_candidates":      ss.Candidates,
+			"sub_events":          ss.Events,
+			"sub_eval_last_us":    ss.LastEval.Microseconds(),
+			"sub_eval_total_us":   ss.TotalEval.Microseconds(),
 		})
 	}
 }

@@ -1,0 +1,128 @@
+// Standing-query alerting — the monitoring deployment the paper's
+// matching queries point at (§1, §3.2): instead of an analyst asking
+// "has a pattern like this been seen before?" after the fact, the
+// pattern template is registered once and the system raises an alert the
+// moment a matching cluster appears in the stream.
+//
+// The example runs a first tranche of the stream to learn a recurring
+// pattern, registers two standing queries against it — one plain match
+// subscription, one with evolution tracking (merge/split alerts) — and
+// then streams the rest of the data while a consumer goroutine prints
+// the alerts as they arrive. Evaluation is inverted and incremental:
+// each window's new clusters are probed against an index of the
+// registered subscriptions, so a thousand standing queries cost index
+// probes per window, not a thousand history scans.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sync"
+
+	"streamsum"
+	"streamsum/internal/gen"
+)
+
+func main() {
+	feed := gen.GMTI(gen.GMTIConfig{Convoys: 8, Seed: 23}, 60000)
+
+	eng, err := streamsum.New(streamsum.Options{
+		Dim: 2, ThetaR: 1.2, ThetaC: 6,
+		Win: 4000, Slide: 1000,
+		Archive: &streamsum.ArchiveOptions{MinPopulation: 15},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Phase 1: a first tranche of stream history to learn a template from.
+	third := len(feed.Points) / 3
+	if _, err := eng.PushBatch(feed.Points[:third], feed.TS[:third]); err != nil {
+		log.Fatal(err)
+	}
+	base := eng.PatternBase()
+	if base.Len() == 0 {
+		log.Fatal("no clusters archived in the first tranche")
+	}
+	// The newest archived cluster: the windows right after the tranche
+	// boundary overlap the window it came from, so near-duplicates are
+	// guaranteed to keep appearing for a while.
+	template := base.Get(int64(base.Len() - 1)).Summary
+	fmt.Printf("template: cluster %d (%d cells) from the first %d tuples\n",
+		template.ID, template.NumCells(), third)
+
+	// Phase 2: register the standing queries. The same query in the
+	// paper's language would be
+	//
+	//	GIVEN DensityBasedCluster <id>
+	//	SELECT DensityBasedClusters FROM Stream
+	//	WHERE Distance <= 0.4
+	//
+	// (FROM Stream = standing, vs the one-shot FROM History).
+	alerts, err := eng.Subscribe(streamsum.SubscribeOptions{
+		Target: template, Threshold: 0.4,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	evolution, err := eng.Subscribe(streamsum.SubscribeOptions{
+		Target: template, Threshold: 0.4, Track: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		n := 0
+		for ev := range alerts.Events() {
+			n++
+			if n <= 5 || n%25 == 0 {
+				fmt.Printf("alert #%d: window %d archived cluster %d at distance %.3f (%d cells)\n",
+					n, ev.Seq, ev.EntryID, ev.Distance, ev.Entry.Summary.NumCells())
+			}
+		}
+		fmt.Printf("alert subscription closed after %d alerts\n", n)
+	}()
+	go func() {
+		defer wg.Done()
+		var matches, transitions int
+		for ev := range evolution.Events() {
+			switch ev.Kind {
+			case streamsum.SubMatch:
+				matches++
+			case streamsum.SubEvolution:
+				transitions++
+				if ev.Track.Kind == streamsum.TrackMerged || ev.Track.Kind == streamsum.TrackSplit {
+					fmt.Printf("evolution: window %d track %d %s (predecessors %v)\n",
+						ev.Seq, ev.Track.TrackID, ev.Track.Kind, ev.Track.Predecessors)
+				}
+			}
+		}
+		fmt.Printf("evolution subscription closed: %d matches, %d transitions\n", matches, transitions)
+	}()
+
+	// Phase 3: the rest of the stream, in slide-sized batches — alerts
+	// fire concurrently as windows complete and archive.
+	for lo := third; lo < len(feed.Points); lo += 1000 {
+		hi := min(lo+1000, len(feed.Points))
+		if _, err := eng.PushBatch(feed.Points[lo:hi], feed.TS[lo:hi]); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	st := eng.SubscriptionStats()
+	fmt.Printf("registry: %d windows evaluated, %d candidate pairs refined, %d events, last eval %v\n",
+		st.Windows, st.Refined, st.Events, st.LastEval)
+
+	// Graceful end: hand every delivered event to the consumers, then
+	// close the channels.
+	alerts.Sync()
+	evolution.Sync()
+	if err := eng.Close(); err != nil {
+		log.Fatal(err)
+	}
+	wg.Wait()
+}

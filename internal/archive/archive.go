@@ -150,10 +150,22 @@ type Base struct {
 	dead        map[int64]struct{} // frozen ids removed (or demoted to disk) since the last rebuild
 	count       int                // live entries across both tiers
 	bytes       int                // live encoded bytes across both tiers
-	memCount    int                // live entries in the memory tier
-	memBytes    int                // live encoded bytes in the memory tier
+	memCount    int                // live entries in the memory tier (excluding in-flight demotions)
+	memBytes    int                // live encoded bytes in the memory tier (excluding in-flight demotions)
 	store       *segstore.Store    // disk tier; nil when StorePath is unset
 	snap        *Snapshot          // cached read view; nil after any mutation
+
+	// Background demoter state (store-backed bases only). Batches queue
+	// in demotePending; the demoter goroutine writes and fsyncs each
+	// batch's segment entirely outside b.mu, so PutBatch and snapshot
+	// readers never stall behind the payload I/O. Entries of a pending
+	// batch stay snapshot-visible through the batch until its segment
+	// commits.
+	demotePending []*demoteBatch
+	demoteCond    *sync.Cond // signaled on queue and demoter state changes; guarded by mu
+	demoteStop    bool       // Close requested: drain and exit
+	demoteExited  bool       // the demoter goroutine has returned
+	demoteErr     error      // first background demotion failure (fail-stop: latched, surfaced by Put)
 }
 
 // New returns an empty pattern base.
@@ -192,21 +204,32 @@ func New(cfg Config) (*Base, error) {
 		v := st.View()
 		b.count = v.Len()
 		b.bytes = v.Bytes()
+		b.demoteCond = sync.NewCond(&b.mu)
+		go b.demoteLoop()
 	}
 	return b, nil
 }
 
-// Close releases the disk tier (stops its compactor and closes segment
-// files); the memory tier needs no teardown. Snapshots taken earlier
-// must not be used afterwards. Close is a no-op for memory-only bases.
+// Close stops the background demoter (after it drains any queued
+// demotion batches) and releases the disk tier (stops its compactor and
+// closes segment files); the memory tier needs no teardown. Snapshots
+// taken earlier must not be used afterwards. Close is a no-op for
+// memory-only bases.
 func (b *Base) Close() error {
 	b.mu.Lock()
-	defer b.mu.Unlock()
 	if b.store == nil {
+		b.mu.Unlock()
 		return nil
 	}
+	b.demoteStop = true
+	b.demoteCond.Broadcast()
+	for !b.demoteExited {
+		b.demoteCond.Wait()
+	}
 	b.snap = nil
-	return b.store.Close()
+	store := b.store
+	b.mu.Unlock()
+	return store.Close()
 }
 
 // Config returns the archiving policy.
@@ -280,6 +303,12 @@ func (b *Base) PutBatch(ss []*sgs.Summary) (ids []int64, archived []bool, err er
 }
 
 func (b *Base) putLocked(s *sgs.Summary) (int64, bool, error) {
+	// A failed background demotion means the base can no longer honor its
+	// memory bound; like a failed Appender it latches and fail-stops
+	// rather than silently growing past the cap.
+	if b.demoteErr != nil {
+		return 0, false, b.demoteErr
+	}
 	// Selective archiving (§6.2).
 	if b.cfg.MinPopulation > 0 && s.TotalPopulation() < b.cfg.MinPopulation {
 		return 0, false, nil
@@ -317,9 +346,10 @@ func (b *Base) putLocked(s *sgs.Summary) (int64, bool, error) {
 	if err := b.maybeRebuildLocked(); err != nil {
 		return 0, false, err
 	}
-	// Demote before committing, so a failed segment flush reports a
-	// genuinely un-archived summary and the memory tier never exceeds its
-	// bounds after a successful Put.
+	// Hand overflow to the demoter before committing the entry: the
+	// batch leaves the memory-tier accounting here, the flush itself
+	// happens in the background (a flush failure surfaces on a LATER
+	// Put via the latched error — see demoteLoop — not this one).
 	if err := b.demoteLocked(e.Bytes); err != nil {
 		return 0, false, err
 	}
@@ -338,12 +368,14 @@ func (b *Base) putLocked(s *sgs.Summary) (int64, bool, error) {
 	return id, true, nil
 }
 
-// demoteLocked moves the oldest memory-tier entries into one new disk
-// segment when admitting an entry of incoming bytes would push the
+// demoteLocked hands the oldest memory-tier entries to the background
+// demoter when admitting an entry of incoming bytes would push the
 // memory tier past MaxMemBytes or Capacity. It demotes down to 7/8 of
 // the violated bound (hysteresis: one segment absorbs many Puts). The
-// segment commit happens before any memory-tier bookkeeping changes, so
-// a flush error leaves the base exactly as it was.
+// batch's entries leave the memory-tier accounting immediately but stay
+// snapshot-visible until their segment commits, so queries never observe
+// a gap; the segment write and fsync happen on the demoter goroutine,
+// outside the base lock.
 func (b *Base) demoteLocked(incoming int) error {
 	if b.store == nil {
 		return nil
@@ -363,30 +395,44 @@ func (b *Base) demoteLocked(incoming int) error {
 	if b.cfg.Capacity > 0 {
 		countGoal = max(b.cfg.Capacity-b.cfg.Capacity/8-1, 0)
 	}
-	return b.demoteOldestLocked(byteGoal, countGoal)
+	batch := b.collectDemotionLocked(byteGoal, countGoal)
+	if batch == nil {
+		return nil
+	}
+	// Enqueue before applying backpressure so queue order always equals
+	// collection (entry age) order — segments must stay FIFO.
+	b.demotePending = append(b.demotePending, batch)
+	b.demoteCond.Broadcast()
+	// Backpressure: with the disk persistently slower than ingest, the
+	// pending queue would otherwise grow without bound — beyond a few
+	// batches the writer waits for the demoter, reintroducing the stall
+	// only under sustained overload.
+	for len(b.demotePending) > maxPendingDemotions && b.demoteErr == nil {
+		b.demoteCond.Wait()
+	}
+	return b.demoteErr
 }
 
-// demoteOldestLocked flushes oldest memory-tier entries to the disk tier
-// until the memory tier is within the goals (a negative goal means
-// unbounded; goals of 0 demote everything). All demoted entries go out
-// in one segment, in FIFO order, preserving the tier invariant that
-// every disk entry predates every memory entry.
-func (b *Base) demoteOldestLocked(byteGoal, countGoal int) error {
-	var fl []segstore.FlushEntry
-	var frozenIDs []int64
+// collectDemotionLocked selects the oldest memory-tier entries until the
+// tier is within the goals (a negative goal means unbounded; goals of 0
+// take everything), removes them from the memory-tier accounting, and
+// returns them as one FIFO demotion batch — ready to flush as a segment,
+// preserving the tier invariant that every disk entry predates every
+// memory entry. It returns nil when nothing needs to move.
+func (b *Base) collectDemotionLocked(byteGoal, countGoal int) *demoteBatch {
+	batch := &demoteBatch{frozenEvictBefore: b.frozenEvict}
 	cur := b.frozenEvict
 	deltaTaken := 0
-	demCount, demBytes := 0, 0
 	over := func() bool {
-		if byteGoal >= 0 && b.memBytes-demBytes > byteGoal {
+		if byteGoal >= 0 && b.memBytes-batch.bytes > byteGoal {
 			return true
 		}
-		if countGoal >= 0 && b.memCount-demCount > countGoal {
+		if countGoal >= 0 && b.memCount-batch.count > countGoal {
 			return true
 		}
 		return false
 	}
-	for over() && demCount < b.memCount {
+	for over() && batch.count < b.memCount {
 		var e *Entry
 		for cur < len(b.frozen.order) {
 			id := b.frozen.order[cur]
@@ -395,7 +441,7 @@ func (b *Base) demoteOldestLocked(byteGoal, countGoal int) error {
 				continue
 			}
 			e = b.frozen.entries[id]
-			frozenIDs = append(frozenIDs, id)
+			batch.frozenIDs = append(batch.frozenIDs, id)
 			break
 		}
 		if e == nil {
@@ -405,42 +451,56 @@ func (b *Base) demoteOldestLocked(byteGoal, countGoal int) error {
 			e = b.delta[deltaTaken]
 			deltaTaken++
 		}
-		fl = append(fl, segstore.FlushEntry{
-			ID: e.ID, Blob: sgs.Marshal(e.Summary), MBR: e.MBR, Feat: e.Features.Vector(),
-		})
-		demCount++
-		demBytes += e.Bytes
+		// Only the selection happens here; serializing the summaries
+		// (flushEntries) is deferred to the flusher, off this lock —
+		// entries are immutable, so the encoding needs no protection.
+		batch.entries = append(batch.entries, e)
+		batch.count++
+		batch.bytes += e.Bytes
 	}
-	if len(fl) == 0 {
+	if batch.count == 0 {
 		return nil
 	}
-	if err := b.store.Flush(fl); err != nil {
-		return err
-	}
-	for _, id := range frozenIDs {
+	batch.deltaEnts = b.delta[:deltaTaken]
+	for _, id := range batch.frozenIDs {
 		b.dead[id] = struct{}{}
 	}
 	b.frozenEvict = cur
 	b.delta = b.delta[deltaTaken:]
-	b.memCount -= demCount
-	b.memBytes -= demBytes
+	b.memCount -= batch.count
+	b.memBytes -= batch.bytes
 	b.snap = nil
-	// Totals are unchanged: the entries moved tiers, they did not die.
-	// The tombstones above are memory-tier bookkeeping only.
-	return b.maybeRebuildLocked()
+	// Totals are unchanged: the entries are moving tiers, not dying. The
+	// tombstones above are memory-tier bookkeeping only.
+	return batch
 }
 
 // FlushMem demotes the entire memory tier to the disk tier (one final
 // segment), making the store alone a complete record of the archived
-// history — the shutdown path for store-backed daemons. It requires a
-// disk tier.
+// history — the shutdown path for store-backed daemons. It first drains
+// any in-flight background demotions, then flushes synchronously. It
+// requires a disk tier.
 func (b *Base) FlushMem() error {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	if b.store == nil {
 		return fmt.Errorf("archive: FlushMem requires a disk tier (StorePath)")
 	}
-	return b.demoteOldestLocked(0, 0)
+	for len(b.demotePending) > 0 {
+		b.demoteCond.Wait()
+	}
+	if b.demoteErr != nil {
+		return b.demoteErr
+	}
+	batch := b.collectDemotionLocked(0, 0)
+	if batch == nil {
+		return nil
+	}
+	if err := b.store.Flush(batch.flushEntries()); err != nil {
+		b.restoreDemotionsLocked([]*demoteBatch{batch}, nil)
+		return err
+	}
+	return b.maybeRebuildLocked()
 }
 
 // selectResolution applies §6.1: fixed level, or finest level fitting the
@@ -504,10 +564,15 @@ func (b *Base) Get(id int64) *Entry {
 
 // Remove deletes an archived cluster from whichever tier holds it. It
 // returns true if it existed. Disk-tier removals persist a tombstone in
-// the store manifest; the bytes are reclaimed by a later compaction.
+// the store manifest; the bytes are reclaimed by a later compaction. An
+// id that is part of an in-flight demotion batch is removed after that
+// batch resolves (Remove briefly waits for the demoter).
 func (b *Base) Remove(id int64) bool {
 	b.mu.Lock()
 	defer b.mu.Unlock()
+	for b.pendingDemotionHasLocked(id) {
+		b.demoteCond.Wait()
+	}
 	if _, gone := b.dead[id]; gone {
 		// Dead in the memory tier means removed or demoted; a demoted id
 		// lives on in the store and can still be removed from there.
@@ -575,6 +640,13 @@ func (b *Base) rebuildLimitLocked() int {
 }
 
 func (b *Base) maybeRebuildLocked() error {
+	// Never fold while demotion batches are in flight: the failure path
+	// restores frozen-origin entries by un-tombstoning their ids, which
+	// requires the frozen generation to still be the one they were
+	// collected from. The demoter retries the fold once the queue drains.
+	if len(b.demotePending) > 0 {
+		return nil
+	}
 	if len(b.delta)+len(b.dead) <= b.rebuildLimitLocked() {
 		return nil
 	}
@@ -656,6 +728,14 @@ type TierStats struct {
 	// Memory tier.
 	MemEntries int
 	MemBytes   int
+	// In-flight demotions: entries handed to the background demoter
+	// whose segment has not yet committed. They have left the memory
+	// tier's accounting but are still resident (and snapshot-visible);
+	// a batch that commits moves them into the Seg* totals. While a
+	// batch is between its commit and its dequeue these counts briefly
+	// overlap Seg* — treat them as monitoring-grade.
+	DemotingEntries int
+	DemotingBytes   int
 	// Disk tier (all zero for memory-only bases).
 	Segments    int
 	SegEntries  int // live records
@@ -668,6 +748,10 @@ type TierStats struct {
 func (b *Base) TierStats() TierStats {
 	b.mu.Lock()
 	ts := TierStats{MemEntries: b.memCount, MemBytes: b.memBytes}
+	for _, batch := range b.demotePending {
+		ts.DemotingEntries += batch.count
+		ts.DemotingBytes += batch.bytes
+	}
 	store := b.store
 	b.mu.Unlock()
 	if store != nil {

@@ -1,0 +1,151 @@
+package archive
+
+import (
+	"streamsum/internal/segstore"
+	"streamsum/internal/sgs"
+)
+
+// maxPendingDemotions bounds the demotion queue: beyond this many
+// batches the writer blocks until the demoter catches up (backpressure
+// under sustained disk overload). The bound keeps worst-case extra
+// residency at a handful of segment-sized batches.
+const maxPendingDemotions = 4
+
+// demoteBatch is one segment's worth of entries handed to the background
+// demoter. Until the segment commits, the entries remain visible to
+// snapshots through the pending queue (they have already left the
+// memory-tier accounting); on failure they are restored exactly where
+// they came from.
+type demoteBatch struct {
+	entries []*Entry // FIFO
+	count   int
+	bytes   int
+
+	// Restore bookkeeping: which entries came from the frozen generation
+	// (marked dead at collection) vs the delta (spliced out of its
+	// front), and where the FIFO eviction cursor stood before.
+	frozenIDs         []int64
+	deltaEnts         []*Entry
+	frozenEvictBefore int
+}
+
+// flushEntries serializes the batch for the store. Entries are immutable
+// after Put, so callers may (and the demoter does) run this without the
+// base lock — the encoding is the CPU half of a demotion's cost and
+// would otherwise stall writers exactly like the write+fsync it
+// accompanies.
+func (batch *demoteBatch) flushEntries() []segstore.FlushEntry {
+	fl := make([]segstore.FlushEntry, 0, len(batch.entries))
+	for _, e := range batch.entries {
+		fl = append(fl, segstore.FlushEntry{
+			ID: e.ID, Blob: sgs.Marshal(e.Summary), MBR: e.MBR, Feat: e.Features.Vector(),
+		})
+	}
+	return fl
+}
+
+// demoteLoop is the background demoter: it takes batches off the pending
+// queue in FIFO order and, for each, writes + fsyncs the segment payload
+// entirely outside b.mu (segstore.PrepareFlush), then commits it (rename
+// + manifest, serialized only with the store's own lock). Only the
+// post-commit bookkeeping — dropping the batch from the pending queue —
+// runs under b.mu, so PutBatch and snapshot creation never wait on the
+// payload I/O.
+func (b *Base) demoteLoop() {
+	b.mu.Lock()
+	for {
+		for len(b.demotePending) == 0 && !b.demoteStop {
+			b.demoteCond.Wait()
+		}
+		if len(b.demotePending) == 0 {
+			// Stop requested and the queue is drained.
+			b.demoteExited = true
+			b.demoteCond.Broadcast()
+			b.mu.Unlock()
+			return
+		}
+		batch := b.demotePending[0]
+		store := b.store
+		b.mu.Unlock()
+
+		p, err := store.PrepareFlush(batch.flushEntries())
+		if err == nil {
+			err = p.Commit()
+		}
+
+		b.mu.Lock()
+		if err != nil {
+			// Restore every queued batch (this one and any behind it):
+			// later batches must not commit after an earlier one failed,
+			// or disk segments would stop predating memory entries.
+			b.restoreDemotionsLocked(b.demotePending, err)
+			b.demotePending = nil
+		} else {
+			b.demotePending = b.demotePending[1:]
+		}
+		b.snap = nil
+		// Fold only once the queue is idle (maybeRebuildLocked refuses
+		// while demotions pend, so failure restore can rely on the frozen
+		// generation being exactly as it was at collection time).
+		_ = b.maybeRebuildLocked()
+		b.demoteCond.Broadcast()
+	}
+}
+
+// restoreDemotionsLocked puts the batches' entries back where they came
+// from — frozen ids are un-tombstoned, delta entries spliced back onto
+// the delta's front, counters and the eviction cursor rewound — and
+// latches err (when non-nil) so subsequent Puts fail instead of growing
+// past the memory bound. Batches must be in queue (age) order; they are
+// restored back-to-front so the reassembled delta stays FIFO.
+func (b *Base) restoreDemotionsLocked(batches []*demoteBatch, err error) {
+	if len(batches) == 0 {
+		return
+	}
+	if err != nil && b.demoteErr == nil {
+		b.demoteErr = err
+	}
+	for i := len(batches) - 1; i >= 0; i-- {
+		batch := batches[i]
+		for _, id := range batch.frozenIDs {
+			delete(b.dead, id)
+		}
+		if len(batch.deltaEnts) > 0 {
+			b.delta = append(append([]*Entry(nil), batch.deltaEnts...), b.delta...)
+		}
+		b.memCount += batch.count
+		b.memBytes += batch.bytes
+	}
+	// The oldest batch's cursor predates every other batch's.
+	b.frozenEvict = batches[0].frozenEvictBefore
+	b.snap = nil
+}
+
+// DrainDemotions blocks until every queued demotion batch has committed
+// (or failed), then reports the latched demotion error, if any. Tests
+// and shutdown paths use it to make tier accounting deterministic; it
+// never triggers new demotions.
+func (b *Base) DrainDemotions() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.store == nil {
+		return nil
+	}
+	for len(b.demotePending) > 0 {
+		b.demoteCond.Wait()
+	}
+	return b.demoteErr
+}
+
+// pendingDemotionHasLocked reports whether the id is part of an
+// in-flight demotion batch.
+func (b *Base) pendingDemotionHasLocked(id int64) bool {
+	for _, batch := range b.demotePending {
+		for _, e := range batch.entries {
+			if e.ID == id {
+				return true
+			}
+		}
+	}
+	return false
+}

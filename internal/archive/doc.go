@@ -45,14 +45,28 @@
 // on-disk segments. Memory pressure (MaxMemBytes) and capacity pressure
 // (Capacity) demote the oldest entries — always the oldest, so every
 // disk entry predates every memory entry and FIFO order spans the tiers
-// — as one segment per demotion batch, committed before the memory-tier
-// bookkeeping changes. Snapshots pin the segment set along with the
-// generation, and FilterShards exposes the tiers as disjoint Searchers
-// (the memory tier plus one per segment) so the matcher's filter phase
-// can probe them in parallel. Disk-resident entries surface with their
-// footer-indexed features only (nil Summary); the refine phase loads
-// their cells lazily via Entry.LoadSummary, so a query's resident cost
-// is its candidates, not the history.
+// — as one segment per demotion batch. Snapshots pin the segment set
+// along with the generation, and FilterShards exposes the tiers as
+// disjoint Searchers (the memory tier plus one per segment) so the
+// matcher's filter phase can probe them in parallel. Disk-resident
+// entries surface with their footer-indexed features only (nil Summary);
+// the refine phase loads their cells lazily via Entry.LoadSummary, so a
+// query's resident cost is its candidates, not the history.
+//
+// Demotion batches flush on a background demoter goroutine: the segment
+// payload write and fsync (segstore.PrepareFlush) run entirely outside
+// the base mutex, so Put/PutBatch and snapshot creation never stall
+// behind demotion I/O. A batch's entries leave the memory-tier
+// accounting at collection but remain snapshot-visible — via the pending
+// queue until the segment commits, via the pinned store view after — so
+// every entry is readable in exactly one place at all times. If a flush
+// fails, the batch's entries are restored where they came from and the
+// error latches (Put fail-stops rather than silently growing past the
+// bound). Blocking callers exist only at the edges: DrainDemotions and
+// FlushMem wait for the queue; Remove of an id mid-demotion waits for
+// its batch; a writer outrunning the disk blocks once the queue hits its
+// small bound (backpressure — and note the yielded lock means a
+// concurrent writer's PutBatch may interleave at that boundary).
 //
 // # Persistence
 //

@@ -1,6 +1,8 @@
 package archive
 
 import (
+	"sync"
+
 	"streamsum/internal/featidx"
 	"streamsum/internal/geom"
 	"streamsum/internal/rtree"
@@ -21,12 +23,37 @@ import (
 // archive state, or go through the Base convenience wrappers when
 // per-call freshness is enough.
 type Snapshot struct {
-	gen   *generation
-	delta []*Entry
-	dead  map[int64]struct{}
-	view  *segstore.View // disk tier; nil for memory-only bases
-	count int            // live entries across both tiers
-	bytes int            // live encoded bytes across both tiers
+	gen      *generation
+	demoting []*Entry // in-flight demotions not yet visible in view, oldest first
+	delta    []*Entry
+	dead     map[int64]struct{}
+	view     *segstore.View // disk tier; nil for memory-only bases
+	count    int            // live entries across both tiers
+	bytes    int            // live encoded bytes across both tiers
+
+	// unindexed maps the delta + demoting entries by id, built lazily on
+	// the first Get so per-id lookups (the standing-query wiring resolves
+	// every newly archived id per window) cost O(1) instead of a delta
+	// scan. Searches keep scanning: they need range predicates anyway.
+	idxOnce   sync.Once
+	unindexed map[int64]*Entry
+}
+
+// memByID resolves an id in the snapshot's unindexed memory portion
+// (delta + in-flight demotions).
+func (s *Snapshot) memByID(id int64) (*Entry, bool) {
+	s.idxOnce.Do(func() {
+		m := make(map[int64]*Entry, len(s.delta)+len(s.demoting))
+		for _, e := range s.delta {
+			m[e.ID] = e
+		}
+		for _, e := range s.demoting {
+			m[e.ID] = e
+		}
+		s.unindexed = m
+	})
+	e, ok := s.unindexed[id]
+	return e, ok
 }
 
 // Snapshot returns a read-only view of the base's current contents. The
@@ -51,6 +78,22 @@ func (b *Base) Snapshot() *Snapshot {
 	}
 	if b.store != nil {
 		s.view = b.store.View()
+	}
+	// Entries in flight to the disk tier stay visible exactly once: via
+	// the pinned store view when their segment committed before the view
+	// was taken, via the snapshot's demoting list otherwise (the demoter
+	// commits outside b.mu, so a batch can be committed but not yet
+	// dequeued — both the view and the queue are captured here, under
+	// b.mu, making the membership test race-free).
+	for _, batch := range b.demotePending {
+		for _, e := range batch.entries {
+			if s.view != nil {
+				if _, _, ok := s.view.Get(e.ID); ok {
+					continue
+				}
+			}
+			s.demoting = append(s.demoting, e)
+		}
 	}
 	b.snap = s
 	return s
@@ -90,11 +133,12 @@ func (s *Snapshot) Get(id int64) *Entry {
 		if e, ok := s.gen.entries[id]; ok {
 			return e
 		}
-		for _, e := range s.delta {
-			if e.ID == id {
-				return e
-			}
-		}
+	}
+	// Delta and in-flight demotions (frozen-origin demoting ids are in
+	// the dead set, so the gen lookup above skipped them; neither delta
+	// nor demoting entries are ever in the dead set themselves).
+	if e, ok := s.memByID(id); ok {
+		return e
 	}
 	// The memory tier marks demoted ids dead, so a dead id may still be
 	// live on disk.
@@ -111,7 +155,7 @@ func (s *Snapshot) Get(id int64) *Entry {
 }
 
 // memShard is the memory tier as a filter shard: the frozen generation's
-// indices plus the delta's linear scan.
+// indices plus linear scans of the in-flight demotions and the delta.
 type memShard struct{ s *Snapshot }
 
 // SearchLocation visits memory-tier entries whose MBR intersects the
@@ -131,6 +175,11 @@ func (m memShard) SearchLocation(q geom.MBR, visit func(*Entry) bool) {
 	})
 	if stopped {
 		return
+	}
+	for _, e := range s.demoting {
+		if e.MBR.Intersects(q) && !visit(e) {
+			return
+		}
 	}
 	for _, e := range s.delta {
 		if e.MBR.Intersects(q) && !visit(e) {
@@ -157,16 +206,22 @@ func (m memShard) SearchFeatures(lo, hi [4]float64, visit func(*Entry) bool) {
 	if stopped {
 		return
 	}
-	for _, e := range s.delta {
+	inRange := func(e *Entry) bool {
 		v := e.Features.Vector()
-		in := true
 		for d := 0; d < 4; d++ {
 			if v[d] < lo[d] || v[d] > hi[d] {
-				in = false
-				break
+				return false
 			}
 		}
-		if in && !visit(e) {
+		return true
+	}
+	for _, e := range s.demoting {
+		if inRange(e) && !visit(e) {
+			return
+		}
+	}
+	for _, e := range s.delta {
+		if inRange(e) && !visit(e) {
 			return
 		}
 	}
@@ -269,10 +324,10 @@ func (s *Snapshot) SearchFeatures(lo, hi [4]float64, visit func(*Entry) bool) {
 
 // All visits every entry in FIFO order: the disk segments (all disk
 // entries predate all memory entries — demotion always takes the oldest),
-// then the frozen generation's order minus tombstones, then the delta.
-// Disk-resident entries are visited summary-free; call LoadSummary on
-// them when the cells are needed. Iteration stops early if visit returns
-// false.
+// then in-flight demotions (the oldest memory entries), then the frozen
+// generation's order minus tombstones, then the delta. Disk-resident
+// entries are visited summary-free; call LoadSummary on them when the
+// cells are needed. Iteration stops early if visit returns false.
 func (s *Snapshot) All(visit func(*Entry) bool) {
 	if s.view != nil {
 		for _, seg := range s.view.Segments() {
@@ -284,6 +339,11 @@ func (s *Snapshot) All(visit func(*Entry) bool) {
 					return
 				}
 			}
+		}
+	}
+	for _, e := range s.demoting {
+		if !visit(e) {
+			return
 		}
 	}
 	for _, id := range s.gen.order {

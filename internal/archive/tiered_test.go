@@ -2,6 +2,7 @@ package archive
 
 import (
 	"bytes"
+	"os"
 	"testing"
 
 	"streamsum/internal/geom"
@@ -29,6 +30,10 @@ func tieredPair(t *testing.T, n int, maxMem int) (mem, tiered *Base, cleanup fun
 		if _, ok, err := tiered.Put(s); err != nil || !ok {
 			t.Fatalf("tiered put: ok=%v err=%v", ok, err)
 		}
+	}
+	// Settle the background demoter so tier accounting is deterministic.
+	if err := tiered.DrainDemotions(); err != nil {
+		t.Fatal(err)
 	}
 	return mem, tiered, func() {
 		if err := tiered.Close(); err != nil {
@@ -186,6 +191,9 @@ func TestTieredRemove(t *testing.T) {
 			t.Fatalf("put: ok=%v err=%v", ok, err)
 		}
 	}
+	if err := b.DrainDemotions(); err != nil {
+		t.Fatal(err)
+	}
 	ts := b.TierStats()
 	if ts.SegEntries == 0 {
 		t.Fatal("setup: nothing on disk")
@@ -294,6 +302,9 @@ func TestTieredCapacityDemotes(t *testing.T) {
 	if b.Len() != len(sums) {
 		t.Fatalf("history shrank: Len = %d", b.Len())
 	}
+	if err := b.DrainDemotions(); err != nil {
+		t.Fatal(err)
+	}
 	ts := b.TierStats()
 	if ts.MemEntries > 8 {
 		t.Fatalf("memory tier %d entries exceeds capacity 8", ts.MemEntries)
@@ -305,4 +316,74 @@ func TestTieredCapacityDemotes(t *testing.T) {
 	if e := b.Get(0); e == nil || e.Summary == nil {
 		t.Fatal("oldest entry lost after capacity demotion")
 	}
+}
+
+// TestDemoterFailureRestores: when a background demotion flush fails,
+// the batch's entries must come back to the memory tier (nothing lost,
+// every entry still readable), the error must latch, and subsequent
+// Puts must surface it instead of growing past the cap.
+func TestDemoterFailureRestores(t *testing.T) {
+	dir := t.TempDir()
+	sums := fixtureSummaries(t, 30, 95)
+	b, err := New(Config{Dim: 2, StorePath: dir, MaxMemBytes: 4 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for ; n < 15; n++ {
+		if _, ok, err := b.Put(sums[n]); err != nil || !ok {
+			t.Fatalf("put %d: ok=%v err=%v", n, ok, err)
+		}
+	}
+	if err := b.DrainDemotions(); err != nil {
+		t.Fatal(err)
+	}
+	before := b.Len()
+
+	// Pull the directory out from under the store: open segment fds keep
+	// their data readable, but every new segment write fails.
+	if err := os.RemoveAll(dir); err != nil {
+		t.Fatal(err)
+	}
+	var putErr error
+	for ; n < len(sums); n++ {
+		_, ok, err := b.Put(sums[n])
+		if err != nil {
+			putErr = err
+			break
+		}
+		if !ok {
+			t.Fatalf("put %d skipped", n)
+		}
+	}
+	drainErr := b.DrainDemotions()
+	if drainErr == nil && putErr == nil {
+		t.Skip("no demotion was triggered against the broken store")
+	}
+	if drainErr == nil {
+		t.Fatal("DrainDemotions reports no error after a failed flush")
+	}
+	// Every successfully archived entry is still there and readable —
+	// the failed batch was restored, not dropped.
+	want := before + (n - 15)
+	if b.Len() != want {
+		t.Fatalf("Len = %d after failed demotion, want %d", b.Len(), want)
+	}
+	snap := b.Snapshot()
+	seen := 0
+	snap.All(func(e *Entry) bool {
+		if _, err := e.LoadSummary(); err != nil {
+			t.Fatalf("entry %d unreadable after restore: %v", e.ID, err)
+		}
+		seen++
+		return true
+	})
+	if seen != want {
+		t.Fatalf("All visited %d entries, want %d", seen, want)
+	}
+	// The error is latched: the base fail-stops instead of growing.
+	if _, _, err := b.Put(sums[0].Clone()); err == nil {
+		t.Fatal("Put succeeded after a latched demotion failure")
+	}
+	_ = b.Close()
 }

@@ -1,0 +1,78 @@
+package query
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse drives the full grammar — both Figure 2 (DETECT) and Figure 3
+// (GIVEN, FROM History and FROM Stream) — through the parser. The parser
+// must never panic or hang, and anything it accepts must satisfy the
+// documented invariants (valid thresholds and window parameters, Standing
+// implies no LIMIT). The seed corpus covers every production; the fuzzer
+// mutates from there.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		// Figure 2, including representation markers and window units.
+		"DETECT DensityBasedClusters FROM stream USING theta_range = 0.1 AND theta_cnt = 8 IN WINDOWS WITH win = 10000 AND slide = 1000",
+		"DETECT DensityBasedClusters FULL FROM s USING theta_range = 1 AND theta_cnt = 1 IN WINDOWS WITH win = 2 AND slide = 1",
+		"DETECT DensityBasedClusters F + S FROM s USING theta_range = 1e-1 AND theta_cnt = 4 IN WINDOWS WITH win = 500 TUPLES AND slide = 100 TUPLES",
+		"DETECT DensityBasedClusters FS FROM s USING theta_range = 0.5 AND theta_cnt = 3 IN WINDOWS WITH win = 60 TICKS AND slide = 10 SECONDS",
+		// Figure 3, one-shot.
+		"GIVEN DensityBasedCluster input SELECT DensityBasedClusters FROM History WHERE Distance <= 0.2",
+		"GIVEN DensityBasedClusters 17 SELECT DensityBasedClusters FROM History WHERE Distance <= 0.3 WITH WEIGHTS volume = 0.4, status = 0.2, density = 0.2, connectivity = 0.2 POSITION SENSITIVE LIMIT 3",
+		// Figure 3, standing (FROM Stream).
+		"GIVEN DensityBasedCluster 4 SELECT DensityBasedClusters FROM Stream WHERE Distance <= 0.25",
+		"GIVEN DensityBasedCluster tmpl SELECT DensityBasedClusters FROM Stream WHERE Distance <= 0.1 WITH WEIGHTS volume = 0.25, status = 0.25, density = 0.25, connectivity = 0.25 POSITION SENSITIVE",
+		// Near-miss inputs that must be rejected gracefully.
+		"GIVEN DensityBasedCluster 1 SELECT DensityBasedClusters FROM Stream WHERE Distance <= 0.2 LIMIT 3",
+		"GIVEN DensityBasedCluster 1 SELECT DensityBasedClusters FROM Archive WHERE Distance <= 0.2",
+		"DETECT ; nonsense",
+		"",
+		"1.5e- <= = , + -",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		// The lexer is byte-indexed; cap input so mutated inputs cannot
+		// turn the fuzzer into a memory benchmark.
+		if len(s) > 1<<12 {
+			return
+		}
+		v, err := Parse(s)
+		if err != nil {
+			if v != nil {
+				t.Fatalf("Parse(%q) returned both a query and an error", s)
+			}
+			return
+		}
+		switch q := v.(type) {
+		case *ClusterQuery:
+			if q.ThetaR <= 0 || q.ThetaC < 1 || q.Win <= 0 || q.Slide <= 0 || q.Slide > q.Win {
+				t.Fatalf("accepted invalid cluster query %+v from %q", q, s)
+			}
+			if q.Stream == "" {
+				t.Fatalf("accepted cluster query without a stream name from %q", s)
+			}
+		case *MatchQuery:
+			if q.Threshold < 0 || q.Threshold > 1 {
+				t.Fatalf("accepted out-of-range threshold %g from %q", q.Threshold, s)
+			}
+			if q.Standing && q.Limit > 0 {
+				t.Fatalf("accepted standing query with LIMIT from %q", s)
+			}
+			if q.Limit < 0 {
+				t.Fatalf("accepted negative LIMIT from %q", s)
+			}
+			if q.Target == "" {
+				t.Fatalf("accepted match query without a target from %q", s)
+			}
+			if strings.TrimSpace(q.Target) != q.Target {
+				t.Fatalf("target %q carries whitespace from %q", q.Target, s)
+			}
+		default:
+			t.Fatalf("Parse returned unexpected type %T", v)
+		}
+	})
+}

@@ -20,6 +20,12 @@
 //	  [POSITION SENSITIVE]
 //	  [LIMIT 3]
 //
+// FROM History is the paper's one-shot form: the query scans the pattern
+// base once. FROM Stream instead registers a *standing* query evaluated
+// against every future window's newly archived clusters (a subscription;
+// see internal/sub) — the parsed MatchQuery carries Standing = true and
+// LIMIT is rejected (a standing query has no result set to truncate).
+//
 // Keywords are case-insensitive; identifiers and numbers follow Go lexical
 // rules for the relevant literals.
 package query
@@ -53,16 +59,29 @@ type MatchQuery struct {
 	HasWeights        bool
 	PositionSensitive bool
 	Limit             int
+	// Standing is true for FROM Stream queries: the query subscribes to
+	// matches among future windows' clusters instead of scanning history.
+	Standing bool
 }
 
 // Parse parses either query form, returning *ClusterQuery or *MatchQuery.
+// On error the returned value is untyped nil (never a typed nil pointer
+// boxed in the interface).
 func Parse(s string) (interface{}, error) {
 	p := &parser{toks: lex(s)}
 	switch {
 	case p.peekKeyword("DETECT"):
-		return p.parseCluster()
+		q, err := p.parseCluster()
+		if err != nil {
+			return nil, err
+		}
+		return q, nil
 	case p.peekKeyword("GIVEN"):
-		return p.parseMatch()
+		q, err := p.parseMatch()
+		if err != nil {
+			return nil, err
+		}
+		return q, nil
 	default:
 		return nil, fmt.Errorf("query: expected DETECT or GIVEN, got %q", p.peekText())
 	}
@@ -380,8 +399,12 @@ func (p *parser) parseMatch() (*MatchQuery, error) {
 	if err := p.expectKeyword("FROM"); err != nil {
 		return nil, err
 	}
-	if err := p.expectKeyword("History"); err != nil {
-		return nil, err
+	switch {
+	case p.acceptKeyword("History"):
+	case p.acceptKeyword("Stream"):
+		q.Standing = true
+	default:
+		return nil, fmt.Errorf("query: expected History or Stream after FROM, got %q", p.peekText())
 	}
 	if err := p.expectKeyword("WHERE"); err != nil {
 		return nil, err
@@ -433,6 +456,9 @@ func (p *parser) parseMatch() (*MatchQuery, error) {
 			}
 			if q.Threshold < 0 || q.Threshold > 1 {
 				return nil, fmt.Errorf("query: threshold %g out of [0,1]", q.Threshold)
+			}
+			if q.Standing && q.Limit > 0 {
+				return nil, fmt.Errorf("query: LIMIT applies to FROM History queries only")
 			}
 			return q, nil
 		}

@@ -160,3 +160,49 @@ func TestLexerOddities(t *testing.T) {
 		t.Error("repeated keywords accepted")
 	}
 }
+
+func TestParseMatchStanding(t *testing.T) {
+	q, err := ParseMatch(`GIVEN DensityBasedCluster 17
+		SELECT DensityBasedClusters FROM Stream
+		WHERE Distance <= 0.25 POSITION SENSITIVE`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !q.Standing {
+		t.Error("FROM Stream did not set Standing")
+	}
+	if q.Target != "17" || q.Threshold != 0.25 || !q.PositionSensitive {
+		t.Errorf("parsed %+v", q)
+	}
+	h, err := ParseMatch(`GIVEN DensityBasedCluster 17
+		SELECT DensityBasedClusters FROM History WHERE Distance <= 0.25`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Standing {
+		t.Error("FROM History set Standing")
+	}
+	// Keywords are case-insensitive, like the rest of the grammar.
+	s, err := ParseMatch(`given densitybasedcluster x select densitybasedclusters from stream where distance <= 0.1`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.Standing {
+		t.Error("lowercase from stream did not set Standing")
+	}
+}
+
+func TestParseMatchStandingErrors(t *testing.T) {
+	bad := []string{
+		// LIMIT is meaningless for a standing query.
+		"GIVEN DensityBasedCluster 1 SELECT DensityBasedClusters FROM Stream WHERE Distance <= 0.2 LIMIT 3",
+		// FROM must name History or Stream.
+		"GIVEN DensityBasedCluster 1 SELECT DensityBasedClusters FROM Archive WHERE Distance <= 0.2",
+		"GIVEN DensityBasedCluster 1 SELECT DensityBasedClusters FROM WHERE Distance <= 0.2",
+	}
+	for _, s := range bad {
+		if _, err := ParseMatch(s); err == nil {
+			t.Errorf("accepted %q", s)
+		}
+	}
+}

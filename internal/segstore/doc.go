@@ -12,10 +12,20 @@
 //
 //	header  "SGSLOG1\n"                          — the archive.Appender log magic
 //	records repeat{ length u32 | sgs.Marshal blob }  — Appender record framing
-//	footer  "SGSFTR1\n" | dim u8 | count u32 |
+//	footer  "SGSFTR2\n" | dim u8 | count u32 |
 //	        per record: id i64 | blobOff u64 | blobLen u32 |
 //	                    MBR min dim×f64 | MBR max dim×f64 | features 4×f64
+//	        zone: union MBR min/max dim×f64 each | feature min 4×f64 | feature max 4×f64
 //	trailer footerOff u64 | footerLen u32 | crc32(footer) u32 | "SGSEND1\n"
+//
+// The footer's zone block is the segment's filter zone — the union of
+// its records' MBRs and the per-dimension min/max of their feature
+// vectors. SearchLocation and SearchFeatures test the query range
+// against the zone first and skip the segment's indices entirely when it
+// cannot match, so a filter phase fanned across many segments touches
+// only the segments whose range overlaps the query. v1 footers
+// ("SGSFTR1\n", no zone block) still open; their zone is derived from
+// the records.
 //
 // The record region is byte-identical to an archive.Appender log: a
 // segment whose footer or trailer is damaged is still a recoverable
@@ -48,7 +58,12 @@
 // are removed on Open.
 //
 // Flush appends a new segment; Tombstone marks an id deleted (the bytes
-// are reclaimed later); both commit by manifest rewrite. A background
+// are reclaimed later); both commit by manifest rewrite. Flush is also
+// available split in two — PrepareFlush writes and fsyncs the segment
+// payload without touching store state (no lock held through the I/O),
+// and PendingSegment.Commit performs the cheap rename + manifest commit
+// — which is how the archiver's background demoter keeps segment writes
+// off its own lock. A background
 // compactor merges runs of undersized or tombstone-heavy adjacent
 // segments into one, dropping tombstoned records and retiring the
 // inputs. Manifest order is archive (FIFO) order and compaction only

@@ -21,8 +21,13 @@ var (
 	// logMagic is the archive.Appender log magic: a segment's record
 	// region is byte-identical to an append log, so a damaged segment is
 	// still salvageable with LoadAppended.
-	logMagic    = [8]byte{'S', 'G', 'S', 'L', 'O', 'G', '1', '\n'}
-	footerMagic = [8]byte{'S', 'G', 'S', 'F', 'T', 'R', '1', '\n'}
+	logMagic = [8]byte{'S', 'G', 'S', 'L', 'O', 'G', '1', '\n'}
+	// footerMagicV1 footers predate zone filters; their zones are derived
+	// from the records at open time.
+	footerMagicV1 = [8]byte{'S', 'G', 'S', 'F', 'T', 'R', '1', '\n'}
+	// footerMagic (v2) footers carry the segment's filter zone — the
+	// union MBR and per-feature min/max bounds — after the record block.
+	footerMagic = [8]byte{'S', 'G', 'S', 'F', 'T', 'R', '2', '\n'}
 	endMagic    = [8]byte{'S', 'G', 'S', 'E', 'N', 'D', '1', '\n'}
 )
 
@@ -54,6 +59,32 @@ type Record struct {
 	Feat [4]float64
 }
 
+// zone is a segment's filter zone: the union of its records' MBRs and
+// the per-dimension min/max of their feature vectors. A query range that
+// cannot intersect the zone cannot match any record, so the filter phase
+// skips the whole segment without touching its indices.
+type zone struct {
+	mbr              geom.MBR
+	featMin, featMax [4]float64
+}
+
+// zoneOf computes the filter zone of a record set.
+func zoneOf(dim int, recs []Record) zone {
+	z := zone{mbr: geom.EmptyMBR(dim)}
+	for d := 0; d < 4; d++ {
+		z.featMin[d] = math.Inf(1)
+		z.featMax[d] = math.Inf(-1)
+	}
+	for _, r := range recs {
+		z.mbr.Extend(r.MBR)
+		for d := 0; d < 4; d++ {
+			z.featMin[d] = math.Min(z.featMin[d], r.Feat[d])
+			z.featMax[d] = math.Max(z.featMax[d], r.Feat[d])
+		}
+	}
+	return z
+}
+
 // Segment is one immutable on-disk segment, opened for reading. All
 // methods are safe for concurrent use: the in-memory probe structures
 // are built once at open time and never mutated, and Load uses pread.
@@ -64,6 +95,7 @@ type Segment struct {
 	recs    []Record
 	byID    map[int64]int
 	payload int // sum of record blob lengths, cached at open
+	zone    zone
 	loc     *rtree.Tree
 	feat    *featidx.Index
 }
@@ -117,7 +149,7 @@ func writeSegment(path string, dim int, entries []FlushEntry) error {
 }
 
 func encodeFooter(dim int, recs []Record) []byte {
-	buf := make([]byte, 0, len(footerMagic)+5+len(recs)*(8+8+4+dim*16+32))
+	buf := make([]byte, 0, len(footerMagic)+5+len(recs)*(8+8+4+dim*16+32)+dim*16+64)
 	buf = append(buf, footerMagic[:]...)
 	buf = append(buf, byte(dim))
 	var n4 [4]byte
@@ -144,6 +176,22 @@ func encodeFooter(dim int, recs []Record) []byte {
 		for d := 0; d < 4; d++ {
 			f64(r.Feat[d])
 		}
+	}
+	// v2 zone block: union MBR + per-feature min/max, so the filter phase
+	// can skip the whole segment without reading the record block's
+	// indices when the query range cannot intersect.
+	z := zoneOf(dim, recs)
+	for d := 0; d < dim; d++ {
+		f64(z.mbr.Min[d])
+	}
+	for d := 0; d < dim; d++ {
+		f64(z.mbr.Max[d])
+	}
+	for d := 0; d < 4; d++ {
+		f64(z.featMin[d])
+	}
+	for d := 0; d < 4; d++ {
+		f64(z.featMax[d])
 	}
 	return buf
 }
@@ -205,12 +253,12 @@ func openSegmentFile(path string, f *os.File) (*Segment, error) {
 	if head != logMagic {
 		return nil, fmt.Errorf("%w: %s: bad header magic", ErrBadSegment, path)
 	}
-	dim, recs, err := decodeFooter(footer)
+	dim, recs, z, err := decodeFooter(footer)
 	if err != nil {
 		return nil, fmt.Errorf("%w: %s: %v", ErrBadSegment, path, err)
 	}
 	seg := &Segment{
-		path: path, f: f, dim: dim, recs: recs,
+		path: path, f: f, dim: dim, recs: recs, zone: z,
 		byID: make(map[int64]int, len(recs)),
 		loc:  rtree.New(dim),
 		feat: featidx.New(),
@@ -237,19 +285,27 @@ func openSegmentFile(path string, f *os.File) (*Segment, error) {
 	return seg, nil
 }
 
-func decodeFooter(b []byte) (dim int, recs []Record, err error) {
-	if len(b) < len(footerMagic)+5 || [8]byte(b[:8]) != footerMagic {
-		return 0, nil, fmt.Errorf("bad footer magic")
+func decodeFooter(b []byte) (dim int, recs []Record, z zone, err error) {
+	if len(b) < len(footerMagic)+5 {
+		return 0, nil, z, fmt.Errorf("bad footer magic")
+	}
+	v2 := [8]byte(b[:8]) == footerMagic
+	if !v2 && [8]byte(b[:8]) != footerMagicV1 {
+		return 0, nil, z, fmt.Errorf("bad footer magic")
 	}
 	dim = int(b[8])
 	if dim < 1 || dim > 8 {
-		return 0, nil, fmt.Errorf("footer dimension %d", dim)
+		return 0, nil, z, fmt.Errorf("footer dimension %d", dim)
 	}
 	count := binary.LittleEndian.Uint32(b[9:])
 	recSize := 8 + 8 + 4 + dim*16 + 32
+	zoneSize := 0
+	if v2 {
+		zoneSize = dim*16 + 64
+	}
 	body := b[13:]
-	if uint64(len(body)) != uint64(count)*uint64(recSize) {
-		return 0, nil, fmt.Errorf("footer size %d != %d records", len(body), count)
+	if uint64(len(body)) != uint64(count)*uint64(recSize)+uint64(zoneSize) {
+		return 0, nil, z, fmt.Errorf("footer size %d != %d records", len(body), count)
 	}
 	recs = make([]Record, count)
 	for i := range recs {
@@ -272,10 +328,32 @@ func decodeFooter(b []byte) (dim int, recs []Record, err error) {
 			r.Feat[d] = math.Float64frombits(binary.LittleEndian.Uint64(p[d*8:]))
 		}
 		if r.MBR.IsEmpty() {
-			return 0, nil, fmt.Errorf("record %d has an empty MBR", i)
+			return 0, nil, z, fmt.Errorf("record %d has an empty MBR", i)
 		}
 	}
-	return dim, recs, nil
+	if v2 {
+		p := body[int(count)*recSize:]
+		z.mbr = geom.MBR{Min: make(geom.Point, dim), Max: make(geom.Point, dim)}
+		for d := 0; d < dim; d++ {
+			z.mbr.Min[d] = math.Float64frombits(binary.LittleEndian.Uint64(p[d*8:]))
+		}
+		p = p[dim*8:]
+		for d := 0; d < dim; d++ {
+			z.mbr.Max[d] = math.Float64frombits(binary.LittleEndian.Uint64(p[d*8:]))
+		}
+		p = p[dim*8:]
+		for d := 0; d < 4; d++ {
+			z.featMin[d] = math.Float64frombits(binary.LittleEndian.Uint64(p[d*8:]))
+		}
+		p = p[4*8:]
+		for d := 0; d < 4; d++ {
+			z.featMax[d] = math.Float64frombits(binary.LittleEndian.Uint64(p[d*8:]))
+		}
+	} else {
+		// v1 footers predate the zone block; derive it from the records.
+		z = zoneOf(dim, recs)
+	}
+	return dim, recs, z, nil
 }
 
 // Path returns the segment's file path.
@@ -304,9 +382,20 @@ func (s *Segment) Get(id int64) (Record, bool) {
 	return s.recs[i], true
 }
 
+// Zone returns the segment's filter zone: the union MBR of its records
+// and the per-dimension min/max of their feature vectors (from the v2
+// footer, or derived at open for v1 segments).
+func (s *Segment) Zone() (mbr geom.MBR, featMin, featMax [4]float64) {
+	return s.zone.mbr, s.zone.featMin, s.zone.featMax
+}
+
 // SearchLocation visits records whose MBR intersects the query box.
-// Iteration stops early if visit returns false.
+// Iteration stops early if visit returns false. A query box outside the
+// segment's zone returns immediately without touching the index.
 func (s *Segment) SearchLocation(q geom.MBR, visit func(Record) bool) {
+	if !s.zone.mbr.Intersects(q) {
+		return
+	}
 	s.loc.SearchIntersect(q, func(it rtree.Item) bool {
 		return visit(s.recs[s.byID[it.ID]])
 	})
@@ -314,8 +403,14 @@ func (s *Segment) SearchLocation(q geom.MBR, visit func(Record) bool) {
 
 // SearchFeatures visits records whose feature vector lies inside the
 // inclusive hyper-rectangle [lo, hi]. Iteration stops early if visit
-// returns false.
+// returns false. A range disjoint from the segment's feature zone
+// returns immediately without touching the index.
 func (s *Segment) SearchFeatures(lo, hi [4]float64, visit func(Record) bool) {
+	for d := 0; d < 4; d++ {
+		if hi[d] < s.zone.featMin[d] || lo[d] > s.zone.featMax[d] {
+			return
+		}
+	}
 	s.feat.Search(lo, hi, func(fe featidx.Entry) bool {
 		return visit(s.recs[s.byID[fe.ID]])
 	})

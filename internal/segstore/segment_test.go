@@ -1,9 +1,12 @@
 package segstore
 
 import (
+	"encoding/binary"
+	"hash/crc32"
 	"math/rand"
 	"os"
 	"path/filepath"
+	"reflect"
 	"testing"
 
 	"streamsum/internal/dbscan"
@@ -359,5 +362,101 @@ func TestSegstoreRecovery(t *testing.T) {
 	defer st2.Close()
 	if s := st2.Stats(); s.Segments != 2 || s.LiveRecords != 7 {
 		t.Fatalf("recovered stats: %+v", s)
+	}
+}
+
+// TestSegmentZone checks the v2 footer's filter zone: it must bound
+// every record, disjoint queries must return nothing (the skip path),
+// and a v1 footer (no zone block) must still open with a derived zone.
+func TestSegmentZone(t *testing.T) {
+	dir := t.TempDir()
+	entries := makeEntries(t, 12, 3, 0)
+	path := filepath.Join(dir, "zone.sgsseg")
+	if err := writeSegment(path, 2, entries); err != nil {
+		t.Fatal(err)
+	}
+	seg, err := OpenSegment(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mbr, fmin, fmax := seg.Zone()
+	for _, r := range seg.Records() {
+		if !mbr.Intersects(r.MBR) {
+			t.Fatalf("zone MBR %v misses record %d MBR %v", mbr, r.ID, r.MBR)
+		}
+		for d := 0; d < 4; d++ {
+			if r.Feat[d] < fmin[d] || r.Feat[d] > fmax[d] {
+				t.Fatalf("record %d feature %d = %g outside zone [%g, %g]", r.ID, d, r.Feat[d], fmin[d], fmax[d])
+			}
+		}
+	}
+
+	// A feature range strictly above the zone max must visit nothing.
+	var lo, hi [4]float64
+	for d := 0; d < 4; d++ {
+		lo[d], hi[d] = fmax[d]+1, fmax[d]+2
+	}
+	seg.SearchFeatures(lo, hi, func(r Record) bool {
+		t.Fatalf("disjoint feature range visited record %d", r.ID)
+		return false
+	})
+	// A location box outside the union MBR must visit nothing.
+	far := geom.MBR{Min: geom.Point{mbr.Max[0] + 10, mbr.Max[1] + 10}, Max: geom.Point{mbr.Max[0] + 11, mbr.Max[1] + 11}}
+	seg.SearchLocation(far, func(r Record) bool {
+		t.Fatalf("disjoint location box visited record %d", r.ID)
+		return false
+	})
+	// In-zone queries still work: probing each record's own feature
+	// vector must find it.
+	for _, r := range seg.Records() {
+		found := false
+		seg.SearchFeatures(r.Feat, r.Feat, func(got Record) bool {
+			if got.ID == r.ID {
+				found = true
+				return false
+			}
+			return true
+		})
+		if !found {
+			t.Fatalf("point probe missed record %d", r.ID)
+		}
+	}
+
+	// Rewrite the same records under a v1 footer (records only, v1
+	// magic): OpenSegment must derive an identical zone.
+	recs := seg.Records()
+	v1 := encodeFooter(2, recs)
+	copy(v1[:8], footerMagicV1[:])
+	v1 = v1[:len(v1)-(2*16+64)] // drop the zone block
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	footerOff := int64(len(raw)) - trailerSize
+	// Recover the original footer offset from the trailer to find where
+	// the record region ends.
+	origOff := int64(binary.LittleEndian.Uint64(raw[footerOff:]))
+	body := raw[:origOff]
+	out := append(append([]byte{}, body...), v1...)
+	var tr [trailerSize]byte
+	binary.LittleEndian.PutUint64(tr[0:], uint64(origOff))
+	binary.LittleEndian.PutUint32(tr[8:], uint32(len(v1)))
+	binary.LittleEndian.PutUint32(tr[12:], crc32.ChecksumIEEE(v1))
+	copy(tr[16:], endMagic[:])
+	out = append(out, tr[:]...)
+	v1path := filepath.Join(dir, "zone-v1.sgsseg")
+	if err := os.WriteFile(v1path, out, 0o666); err != nil {
+		t.Fatal(err)
+	}
+	seg1, err := OpenSegment(v1path)
+	if err != nil {
+		t.Fatalf("v1 footer rejected: %v", err)
+	}
+	mbr1, fmin1, fmax1 := seg1.Zone()
+	if !reflect.DeepEqual(mbr1, mbr) || fmin1 != fmin || fmax1 != fmax {
+		t.Fatalf("derived v1 zone differs: %v %v %v vs %v %v %v", mbr1, fmin1, fmax1, mbr, fmin, fmax)
+	}
+	if seg1.Len() != seg.Len() {
+		t.Fatalf("v1 reopen lost records: %d vs %d", seg1.Len(), seg.Len())
 	}
 }

@@ -265,40 +265,102 @@ func (st *Store) Flush(entries []FlushEntry) error {
 	if len(entries) == 0 {
 		return nil
 	}
+	p, err := st.PrepareFlush(entries)
+	if err != nil {
+		return err
+	}
+	return p.Commit()
+}
+
+// PendingSegment is a fully written and fsynced segment file that is not
+// yet part of the store: until Commit, readers cannot see it, and a
+// crash leaves only an orphan the next Open removes. The split lets the
+// expensive phase — writing and syncing the record payload — run without
+// any caller-side lock, while Commit (rename + manifest) stays cheap
+// enough to serialize with readers.
+type PendingSegment struct {
+	st        *Store
+	tmp, path string
+	entries   int
+	maxID     int64
+	done      bool
+}
+
+// PrepareFlush writes entries (archive order) as an uncommitted segment
+// file. The store lock is held only to reserve the file name — the
+// payload write and fsync, the bulk of a demotion's cost, run
+// concurrently with every other store operation.
+func (st *Store) PrepareFlush(entries []FlushEntry) (*PendingSegment, error) {
+	if len(entries) == 0 {
+		return nil, fmt.Errorf("segstore: empty flush")
+	}
 	st.mu.Lock()
-	defer st.mu.Unlock()
 	if st.closed {
-		return fmt.Errorf("segstore: store is closed")
+		st.mu.Unlock()
+		return nil, fmt.Errorf("segstore: store is closed")
 	}
 	name := fmt.Sprintf("seg-%08d%s", st.seq, segSuffix)
 	st.seq++
-	path := filepath.Join(st.dir, name)
-	tmp := path + ".tmp"
-	if err := writeSegment(tmp, st.opts.Dim, entries); err != nil {
-		_ = os.Remove(tmp)
-		return err
+	st.mu.Unlock()
+	p := &PendingSegment{st: st, path: filepath.Join(st.dir, name), entries: len(entries), maxID: -1}
+	p.tmp = p.path + ".tmp"
+	for _, e := range entries {
+		if e.ID > p.maxID {
+			p.maxID = e.ID
+		}
 	}
-	if err := os.Rename(tmp, path); err != nil {
-		_ = os.Remove(tmp)
+	if err := writeSegment(p.tmp, st.opts.Dim, entries); err != nil {
+		_ = os.Remove(p.tmp)
+		return nil, err
+	}
+	return p, nil
+}
+
+// Commit renames the prepared file into place and commits it to the
+// manifest — the commit point. On error nothing is committed and the
+// pending file is cleaned up (or left as an orphan the next Open
+// removes). Commit or Abort must be called exactly once.
+func (p *PendingSegment) Commit() error {
+	st := p.st
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if p.done {
+		return fmt.Errorf("segstore: pending segment already resolved")
+	}
+	p.done = true
+	if st.closed {
+		_ = os.Remove(p.tmp)
+		return fmt.Errorf("segstore: store is closed")
+	}
+	if err := os.Rename(p.tmp, p.path); err != nil {
+		_ = os.Remove(p.tmp)
 		return err
 	}
 	st.syncDir()
-	seg, err := OpenSegment(path)
+	seg, err := OpenSegment(p.path)
 	if err != nil {
 		return err
 	}
 	newSegs := append(append([]*Segment(nil), st.segs...), seg)
 	if err := st.commitManifestLocked(newSegs); err != nil {
+		_ = seg.close()
 		return err
 	}
 	st.segs = newSegs
-	for _, e := range entries {
-		if e.ID > st.maxID {
-			st.maxID = e.ID
-		}
+	if p.maxID > st.maxID {
+		st.maxID = p.maxID
 	}
 	st.signalCompactLocked()
 	return nil
+}
+
+// Abort discards the prepared segment file.
+func (p *PendingSegment) Abort() {
+	if p.done {
+		return
+	}
+	p.done = true
+	_ = os.Remove(p.tmp)
 }
 
 // Tombstone marks an id deleted. It reports whether the id was live in

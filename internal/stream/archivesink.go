@@ -19,6 +19,22 @@ import (
 // invoked after archiving, preserving the Sharded executor's serialized
 // consumer contract.
 func ArchiveWindows(base *archive.Base, next func(shard int, w *core.WindowResult) error) func(int, *core.WindowResult) error {
+	return ArchiveWindowsEval(base, nil, next)
+}
+
+// ArchiveWindowsEval is ArchiveWindows with a standing-query hook: after
+// each window's PutBatch, eval receives the window's newly archived
+// entries — resolved from one snapshot taken right after the batch, so
+// every entry reflects exactly what the archiver stored (post
+// compression/selection) and the whole window is evaluated against a
+// single archive state. The hook is the wiring point for incremental
+// subscription evaluation (internal/sub's Registry.Offer): it sees only
+// the new entries, never the history. Entries the selection policy
+// skipped (or that a capacity-bounded memory-only base already evicted
+// again) are not passed. A nil eval is ignored.
+func ArchiveWindowsEval(base *archive.Base,
+	eval func(shard int, w *core.WindowResult, entries []*archive.Entry) error,
+	next func(shard int, w *core.WindowResult) error) func(int, *core.WindowResult) error {
 	return func(shard int, w *core.WindowResult) error {
 		sums := make([]*sgs.Summary, 0, len(w.Clusters))
 		for _, c := range w.Clusters {
@@ -26,8 +42,29 @@ func ArchiveWindows(base *archive.Base, next func(shard int, w *core.WindowResul
 				sums = append(sums, c.Summary)
 			}
 		}
+		var entries []*archive.Entry
 		if len(sums) > 0 {
-			if _, _, err := base.PutBatch(sums); err != nil {
+			ids, archived, err := base.PutBatch(sums)
+			if err != nil {
+				return err
+			}
+			if eval != nil {
+				snap := base.Snapshot()
+				entries = make([]*archive.Entry, 0, len(ids))
+				for i, id := range ids {
+					if !archived[i] {
+						continue
+					}
+					if e := snap.Get(id); e != nil {
+						entries = append(entries, e)
+					}
+				}
+			}
+		}
+		// The hook runs for every window — empty ones included — so a
+		// registry's window sequence counts windows, not just archivals.
+		if eval != nil {
+			if err := eval(shard, w, entries); err != nil {
 				return err
 			}
 		}

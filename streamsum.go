@@ -101,6 +101,8 @@ import (
 	"streamsum/internal/query"
 	"streamsum/internal/sgs"
 	"streamsum/internal/stream"
+	"streamsum/internal/sub"
+	"streamsum/internal/track"
 	"streamsum/internal/window"
 )
 
@@ -181,6 +183,12 @@ type Options struct {
 	// forces the fully sequential matcher. Results are byte-identical at
 	// every setting.
 	MatchWorkers int
+	// SubWorkers bounds the standing-query registry's per-window
+	// evaluation fan-out (the inverted probe and refine phases; see
+	// Subscribe): <= 0 means one worker per available CPU, 1 forces
+	// sequential evaluation. Delivered events are byte-identical at
+	// every setting.
+	SubWorkers int
 	// StorePath, when non-empty, attaches a disk tier to the pattern base
 	// (requires Archive): entries evicted from the memory tier demote
 	// into immutable on-disk segments under this directory and remain
@@ -206,8 +214,15 @@ type Engine struct {
 	proc stream.Processor
 	base *archive.Base
 	// sink archives one completed window into base (one PutBatch per
-	// window); nil when archiving is off or novelty filtering is on.
+	// window) and offers the new entries to the standing-query registry;
+	// nil when archiving is off or novelty filtering is on.
 	sink func(int, *core.WindowResult) error
+	// subs is the standing-query registry (nil without a pattern base).
+	subs *sub.Registry
+	// tracker feeds evolution events to Track subscriptions; created on
+	// demand (nil while no subscription asks for them), so tracking
+	// starts at the first Track subscription.
+	tracker *track.Tracker
 }
 
 // New creates an engine.
@@ -256,22 +271,35 @@ func New(opts Options) (*Engine, error) {
 		if err != nil {
 			return nil, err
 		}
+		e.subs, err = sub.NewRegistry(sub.Config{Dim: opts.Dim, Workers: opts.SubWorkers})
+		if err != nil {
+			return nil, err
+		}
 		if opts.ArchiveNovelty <= 0 {
-			// The same window-per-PutBatch wiring sharded consumers use.
-			e.sink = stream.ArchiveWindows(e.base, nil)
+			// The same window-per-PutBatch wiring sharded consumers use,
+			// with the window's new entries offered to the standing-query
+			// registry off the same post-batch snapshot.
+			e.sink = stream.ArchiveWindowsEval(e.base,
+				func(_ int, _ *core.WindowResult, entries []*archive.Entry) error {
+					return e.subs.Offer(entries)
+				}, nil)
 		}
 	}
 	return e, nil
 }
 
-// Close releases the engine. With a disk-backed pattern base (StorePath)
-// it first demotes the memory tier to the store as one final segment —
-// making the store directory alone a complete, reopenable record of the
-// archived history — then stops the store's compactor and closes its
-// files. Serve all in-flight matching queries before calling Close;
-// snapshots must not be used afterwards. Without a store Close is a
-// no-op.
+// Close releases the engine. It cancels every standing subscription
+// (their event channels close; events not yet consumed are dropped —
+// drain with Subscription.Sync first when they matter). With a
+// disk-backed pattern base (StorePath) it then demotes the memory tier
+// to the store as one final segment — making the store directory alone
+// a complete, reopenable record of the archived history — and stops the
+// store's compactor and closes its files. Serve all in-flight matching
+// queries before calling Close; snapshots must not be used afterwards.
 func (e *Engine) Close() error {
+	if e.subs != nil {
+		e.subs.Close()
+	}
 	if e.base == nil {
 		return nil
 	}
@@ -287,9 +315,9 @@ func (e *Engine) Close() error {
 // OptionsFromQuery parses a DETECT query in the paper's query language
 // (Figure 2) into engine Options. dim supplies the tuple dimensionality,
 // which the query language leaves to the schema. Execution-side knobs the
-// language does not cover (Workers, EmitWorkers, MatchWorkers, Archive,
-// ArchiveNovelty, StorePath, StoreMaxMemBytes) can be set on the returned
-// Options before calling New.
+// language does not cover (Workers, EmitWorkers, MatchWorkers, SubWorkers,
+// Archive, ArchiveNovelty, StorePath, StoreMaxMemBytes) can be set on the
+// returned Options before calling New.
 func OptionsFromQuery(q string, dim int) (Options, error) {
 	cq, err := query.ParseCluster(q)
 	if err != nil {
@@ -404,10 +432,33 @@ func (e *Engine) archiveWindow(w *WindowResult) error {
 	if e.base == nil {
 		return nil
 	}
+	var err error
 	if e.opts.ArchiveNovelty > 0 {
-		return e.archiveNovelWindow(w)
+		err = e.archiveNovelWindow(w)
+	} else {
+		err = e.sink(0, w)
 	}
-	return e.sink(0, w)
+	if err != nil {
+		return err
+	}
+	e.offerTrack(w)
+	return nil
+}
+
+// offerTrack feeds the window through the evolution tracker and delivers
+// the transitions to Track subscriptions. The tracker exists only while
+// someone is listening: it starts (empty) at the first Track
+// subscription, so evolution events describe transitions since then, and
+// is dropped once the last Track subscription cancels.
+func (e *Engine) offerTrack(w *WindowResult) {
+	if e.subs == nil || !e.subs.WantsTrack() {
+		e.tracker = nil
+		return
+	}
+	if e.tracker == nil {
+		e.tracker = track.New()
+	}
+	e.subs.OfferTrack(e.tracker.Advance(w))
 }
 
 // archiveNovelWindow is evolution-driven archiving: a summary enters the
@@ -433,7 +484,10 @@ func (e *Engine) archiveNovelWindow(w *WindowResult) error {
 		}
 	}
 	if len(sums) == 0 {
-		return nil
+		// Still one evaluated window: the registry's sequence counts
+		// windows (and tags this window's evolution events), not
+		// archivals.
+		return e.subs.Offer(nil)
 	}
 	matched := make([]bool, len(sums))
 	if e.base.Len() > 0 {
@@ -451,6 +505,7 @@ func (e *Engine) archiveNovelWindow(w *WindowResult) error {
 	// cluster-feature gate + grid-level distance the matcher applies.
 	ew := match.EqualWeights()
 	var added []*Summary
+	var newEntries []*ArchiveEntry
 	for i, s := range sums {
 		if matched[i] {
 			continue
@@ -474,10 +529,13 @@ func (e *Engine) archiveNovelWindow(w *WindowResult) error {
 		if ok {
 			if en := e.base.Get(id); en != nil {
 				added = append(added, en.Summary)
+				newEntries = append(newEntries, en)
 			}
 		}
 	}
-	return nil
+	// Standing queries see exactly what novelty archiving admitted — a
+	// recurring pattern alerts once, not once per window.
+	return e.subs.Offer(newEntries)
 }
 
 // PatternBase returns the engine's archive, or nil if archiving is
@@ -520,29 +578,24 @@ func (e *Engine) Match(opts MatchOptions) ([]Match, MatchStats, error) {
 	})
 }
 
-// MatchOptionsFromQuery parses a matching query in the paper's query
-// language (Figure 3) into MatchOptions plus the query's cluster
-// reference — the GIVEN identifier (e.g. "input") or integer archive id,
-// which the caller resolves to a Summary and assigns to the returned
-// options' Target before calling Match.
+// MatchOptionsFromQuery parses a one-shot matching query in the paper's
+// query language (Figure 3, FROM History) into MatchOptions plus the
+// query's cluster reference — the GIVEN identifier (e.g. "input") or
+// integer archive id, which the caller resolves to a Summary and assigns
+// to the returned options' Target before calling Match. Standing queries
+// (FROM Stream) are rejected: parse those with SubscribeOptionsFromQuery
+// and register them with Subscribe.
 func MatchOptionsFromQuery(q string) (MatchOptions, string, error) {
 	mq, err := query.ParseMatch(q)
 	if err != nil {
 		return MatchOptions{}, "", err
 	}
-	var w *Weights
-	if mq.HasWeights || mq.PositionSensitive {
-		ws := EqualWeights()
-		if mq.HasWeights {
-			ws.Volume, ws.Status, ws.Density, ws.Connectivity =
-				mq.Weights[0], mq.Weights[1], mq.Weights[2], mq.Weights[3]
-		}
-		ws.PositionSensitive = mq.PositionSensitive
-		w = &ws
+	if mq.Standing {
+		return MatchOptions{}, "", fmt.Errorf("streamsum: standing query (FROM Stream): register it with Subscribe")
 	}
 	return MatchOptions{
 		Threshold: mq.Threshold,
-		Weights:   w,
+		Weights:   weightsOf(mq),
 		Limit:     mq.Limit,
 	}, mq.Target, nil
 }

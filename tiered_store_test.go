@@ -36,9 +36,12 @@ func tieredStreamEngines(t *testing.T, maxMem int) (memEng, tierEng *Engine) {
 
 func tieredEngine(t *testing.T, extra Options) *Engine {
 	t.Helper()
+	// A small compaction target keeps the store at several segments even
+	// after the background compactor fully catches up (the default
+	// 256 KiB target would merge this test's whole history into one).
 	opts := Options{
 		Dim: 2, ThetaR: 1.0, ThetaC: 4, Win: 4000, Slide: 1000,
-		Archive:          &ArchiveOptions{},
+		Archive:          &ArchiveOptions{StoreSegmentBytes: 8 << 10},
 		StorePath:        extra.StorePath,
 		StoreMaxMemBytes: extra.StoreMaxMemBytes,
 	}
@@ -65,6 +68,10 @@ func TestTieredMatchIdenticalAcrossWorkers(t *testing.T) {
 	memBase, tierBase := memEng.PatternBase(), tierEng.PatternBase()
 	if memBase.Len() == 0 || memBase.Len() != tierBase.Len() {
 		t.Fatalf("base sizes: mem %d, tiered %d", memBase.Len(), tierBase.Len())
+	}
+	// Settle the background demoter so the tier split is deterministic.
+	if err := tierBase.DrainDemotions(); err != nil {
+		t.Fatal(err)
 	}
 	ts := tierBase.TierStats()
 	if ts.MemBytes > maxMem {
