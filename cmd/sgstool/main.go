@@ -24,6 +24,7 @@ import (
 	"io"
 	"log"
 	"os"
+	"path/filepath"
 
 	"streamsum/internal/archive"
 	"streamsum/internal/match"
@@ -145,7 +146,7 @@ func storeCmd(cmd, dir string, dim int) error {
 	defer st.Close()
 	switch cmd {
 	case "inspect":
-		printStore(st)
+		printStore(os.Stdout, st)
 	case "compact":
 		before := st.Stats()
 		if err := st.CompactNow(); err != nil {
@@ -184,19 +185,19 @@ func openStore(dir string, dim int) (*segstore.Store, error) {
 	return nil, fmt.Errorf("sgstool: could not determine store dimensionality; pass -dim")
 }
 
-func printStore(st *segstore.Store) {
+func printStore(w io.Writer, st *segstore.Store) {
 	s := st.Stats()
-	fmt.Printf("segments: %d  records: %d live / %d total  bytes: %.1f KB live / %.1f KB total  tombstones: %d\n",
+	fmt.Fprintf(w, "segments: %d  records: %d live / %d total  bytes: %.1f KB live / %.1f KB total  tombstones: %d\n",
 		s.Segments, s.LiveRecords, s.Records,
 		float64(s.LiveBytes)/1024, float64(s.Bytes)/1024, s.Tombstones)
 	v := st.View()
-	fmt.Printf("%-24s %8s %8s %10s %10s\n", "segment", "records", "dead", "bytes", "ids")
+	fmt.Fprintf(w, "%-24s %4s %6s %8s %8s %10s %10s %10s\n",
+		"segment", "fmt", "mapped", "records", "dead", "col", "blob", "ids")
 	for _, seg := range v.Segments() {
 		recs := seg.Records()
-		dead, bytes := 0, 0
+		dead := 0
 		lo, hi := int64(-1), int64(-1)
 		for _, r := range recs {
-			bytes += int(r.Len)
 			if v.Dead(r.ID) {
 				dead++
 			}
@@ -207,8 +208,14 @@ func printStore(st *segstore.Store) {
 				hi = r.ID
 			}
 		}
-		fmt.Printf("%-24s %8d %8d %10d %4d..%-4d\n",
-			seg.Path(), len(recs), dead, bytes, lo, hi)
+		col, blob := seg.Regions()
+		fmt.Fprintf(w, "%-24s %4s %6v %8d %8d %10d %10d %4d..%-4d\n",
+			filepath.Base(seg.Path()), fmt.Sprintf("v%d", seg.Format()),
+			seg.Mapped(), len(recs), dead, col, blob, lo, hi)
+		mbr, fmin, fmax := seg.Zone()
+		fmt.Fprintf(w, "%24s zone mbr=%v feat=[%g..%g %g..%g %g..%g %g..%g]\n",
+			"", mbr,
+			fmin[0], fmax[0], fmin[1], fmax[1], fmin[2], fmax[2], fmin[3], fmax[3])
 	}
 }
 

@@ -722,6 +722,21 @@ type Searcher interface {
 	SearchFeatures(lo, hi [4]float64, visit func(*Entry) bool)
 }
 
+// GatedSearcher is a Searcher that can additionally run a cheap exact
+// gate over the candidate's feature vector between the range test and
+// the visit, and report how many live entries passed the range test
+// regardless of the gate (the filter-phase candidate count). Pushing the
+// gate below the visit lets disk shards reject candidates straight off
+// their columnar scan without materializing an Entry per rejection; the
+// matcher type-asserts for this and falls back to plain Search* plus an
+// outer gate otherwise. A nil gate admits everything. Iteration stops
+// early if visit returns false (the returned count is then partial).
+type GatedSearcher interface {
+	Searcher
+	GatedSearchLocation(q geom.MBR, gate func([4]float64) bool, visit func(*Entry) bool) int
+	GatedSearchFeatures(lo, hi [4]float64, gate func([4]float64) bool, visit func(*Entry) bool) int
+}
+
 // TierStats reports the split of the archived population across the
 // memory and disk tiers (monitoring endpoints, bounded-memory tests).
 type TierStats struct {

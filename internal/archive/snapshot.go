@@ -161,53 +161,83 @@ type memShard struct{ s *Snapshot }
 // SearchLocation visits memory-tier entries whose MBR intersects the
 // query box. Iteration stops early if visit returns false.
 func (m memShard) SearchLocation(q geom.MBR, visit func(*Entry) bool) {
+	m.GatedSearchLocation(q, nil, visit)
+}
+
+// GatedSearchLocation visits memory-tier entries whose MBR intersects
+// the query box and whose feature vector passes gate; it returns the
+// number of live intersecting entries regardless of the gate.
+func (m memShard) GatedSearchLocation(q geom.MBR, gate func([4]float64) bool, visit func(*Entry) bool) int {
 	s := m.s
+	probed := 0
 	stopped := false
 	s.gen.loc.SearchIntersect(q, func(it rtree.Item) bool {
 		if s.isDead(it.ID) {
 			return true
 		}
-		if !visit(s.gen.entries[it.ID]) {
+		probed++
+		e := s.gen.entries[it.ID]
+		if gate != nil && !gate(e.Features.Vector()) {
+			return true
+		}
+		if !visit(e) {
 			stopped = true
 			return false
 		}
 		return true
 	})
 	if stopped {
-		return
+		return probed
 	}
-	for _, e := range s.demoting {
-		if e.MBR.Intersects(q) && !visit(e) {
-			return
+	for _, list := range [2][]*Entry{s.demoting, s.delta} {
+		for _, e := range list {
+			if !e.MBR.Intersects(q) {
+				continue
+			}
+			probed++
+			if gate != nil && !gate(e.Features.Vector()) {
+				continue
+			}
+			if !visit(e) {
+				return probed
+			}
 		}
 	}
-	for _, e := range s.delta {
-		if e.MBR.Intersects(q) && !visit(e) {
-			return
-		}
-	}
+	return probed
 }
 
 // SearchFeatures visits memory-tier entries whose feature vector lies
 // inside [lo, hi]. Iteration stops early if visit returns false.
 func (m memShard) SearchFeatures(lo, hi [4]float64, visit func(*Entry) bool) {
+	m.GatedSearchFeatures(lo, hi, nil, visit)
+}
+
+// GatedSearchFeatures visits memory-tier entries whose feature vector
+// lies inside [lo, hi] and passes gate; it returns the number of live
+// in-range entries regardless of the gate.
+func (m memShard) GatedSearchFeatures(lo, hi [4]float64, gate func([4]float64) bool, visit func(*Entry) bool) int {
 	s := m.s
+	probed := 0
 	stopped := false
 	s.gen.feat.Search(lo, hi, func(fe featidx.Entry) bool {
 		if s.isDead(fe.ID) {
 			return true
 		}
-		if !visit(s.gen.entries[fe.ID]) {
+		probed++
+		e := s.gen.entries[fe.ID]
+		if gate != nil && !gate(e.Features.Vector()) {
+			return true
+		}
+		if !visit(e) {
 			stopped = true
 			return false
 		}
 		return true
 	})
 	if stopped {
-		return
+		return probed
 	}
-	inRange := func(e *Entry) bool {
-		v := e.Features.Vector()
+	inRange := func(v [4]float64) bool {
 		for d := 0; d < 4; d++ {
 			if v[d] < lo[d] || v[d] > hi[d] {
 				return false
@@ -215,16 +245,22 @@ func (m memShard) SearchFeatures(lo, hi [4]float64, visit func(*Entry) bool) {
 		}
 		return true
 	}
-	for _, e := range s.demoting {
-		if inRange(e) && !visit(e) {
-			return
+	for _, list := range [2][]*Entry{s.demoting, s.delta} {
+		for _, e := range list {
+			v := e.Features.Vector()
+			if !inRange(v) {
+				continue
+			}
+			probed++
+			if gate != nil && !gate(v) {
+				continue
+			}
+			if !visit(e) {
+				return probed
+			}
 		}
 	}
-	for _, e := range s.delta {
-		if inRange(e) && !visit(e) {
-			return
-		}
-	}
+	return probed
 }
 
 // segShard is one disk segment as a filter shard, masked by the store
@@ -254,6 +290,44 @@ func (g segShard) SearchFeatures(lo, hi [4]float64, visit func(*Entry) bool) {
 		}
 		return visit(segEntry(g.seg, r))
 	})
+}
+
+// GatedSearchLocation visits the segment's live records whose MBR
+// intersects the query box and whose feature vector passes gate; it
+// returns the number of live intersecting records regardless of the
+// gate. On v3 segments the range test and the gate both run off the
+// columnar scan, and gate rejections never materialize an Entry.
+func (g segShard) GatedSearchLocation(q geom.MBR, gate func([4]float64) bool, visit func(*Entry) bool) int {
+	probed := 0
+	g.seg.GatedSearchLocation(q, nil, func(r segstore.Record) bool {
+		if g.view.Dead(r.ID) {
+			return true
+		}
+		probed++
+		if gate != nil && !gate(r.Feat) {
+			return true
+		}
+		return visit(segEntry(g.seg, r))
+	})
+	return probed
+}
+
+// GatedSearchFeatures visits the segment's live records whose feature
+// vector lies inside [lo, hi] and passes gate; it returns the number of
+// live in-range records regardless of the gate.
+func (g segShard) GatedSearchFeatures(lo, hi [4]float64, gate func([4]float64) bool, visit func(*Entry) bool) int {
+	probed := 0
+	g.seg.GatedSearchFeatures(lo, hi, nil, func(r segstore.Record) bool {
+		if g.view.Dead(r.ID) {
+			return true
+		}
+		probed++
+		if gate != nil && !gate(r.Feat) {
+			return true
+		}
+		return visit(segEntry(g.seg, r))
+	})
+	return probed
 }
 
 // FilterShards splits the snapshot into independently searchable filter

@@ -57,14 +57,19 @@ func Any(src Source, targets []*sgs.Summary, q Query) ([]bool, error) {
 	}
 
 	// --- Phase 1: filter — every (target, shard) probe is one task --------
+	// The exact cluster-level feature gate runs inside the probe (fused
+	// filter; see filterOne), so only surviving pairs ever materialize.
 	shards := filterShards(src)
 	cands := make([][]*archive.Entry, len(targets)*len(shards))
 	par.ForEach(q.Workers, len(cands), func(k int) {
 		ti, si := k/len(shards), k%len(shards)
-		cands[k] = filterOne(shards[si], w, mbrs[ti], los[ti], his[ti])
+		gate := func(v [4]float64) bool {
+			return FeatureDistance(feats[ti], v, w) <= q.Threshold
+		}
+		cands[k], _ = filterOne(shards[si], gate, w, mbrs[ti], los[ti], his[ti])
 	})
 
-	// Cluster-level feature gate, then flatten the surviving pairs.
+	// Flatten the surviving pairs.
 	type pair struct {
 		ti int
 		e  *archive.Entry
@@ -73,9 +78,7 @@ func Any(src Source, targets []*sgs.Summary, q Query) ([]bool, error) {
 	for k, part := range cands {
 		ti := k / len(shards)
 		for _, e := range part {
-			if FeatureDistance(feats[ti], e.Features.Vector(), w) <= q.Threshold {
-				pairs = append(pairs, pair{ti, e})
-			}
+			pairs = append(pairs, pair{ti, e})
 		}
 	}
 

@@ -115,23 +115,44 @@ func filterShards(src Source) []archive.Searcher {
 	return []archive.Searcher{src}
 }
 
-// filterOne probes one shard for the query's candidates.
-func filterOne(sh archive.Searcher, w Weights, targetMBR geom.MBR, lo, hi [4]float64) []*archive.Entry {
+// filterOne probes one shard for the query's candidates, applying the
+// exact cluster-level gate during the probe, and returns the gate
+// survivors plus the raw index-candidate count. Shards that implement
+// archive.GatedSearcher (snapshot tiers) run the gate below the index —
+// a disk shard's columnar scan rejects candidates without materializing
+// an Entry; other shards get the same gate applied around a plain probe.
+func filterOne(sh archive.Searcher, gate func([4]float64) bool, w Weights, targetMBR geom.MBR, lo, hi [4]float64) ([]*archive.Entry, int) {
 	var out []*archive.Entry
-	if w.PositionSensitive {
-		// Non-overlapping clusters have Dist_location = 1 ≥ any threshold
-		// < 1, so the R-tree overlap probe is exact for the location term.
-		sh.SearchLocation(targetMBR, func(e *archive.Entry) bool {
-			out = append(out, e)
-			return true
-		})
-	} else {
-		sh.SearchFeatures(lo, hi, func(e *archive.Entry) bool {
-			out = append(out, e)
-			return true
-		})
+	visit := func(e *archive.Entry) bool {
+		out = append(out, e)
+		return true
 	}
-	return out
+	if gs, ok := sh.(archive.GatedSearcher); ok {
+		var probed int
+		if w.PositionSensitive {
+			// Non-overlapping clusters have Dist_location = 1 ≥ any
+			// threshold < 1, so the overlap probe is exact for the
+			// location term.
+			probed = gs.GatedSearchLocation(targetMBR, gate, visit)
+		} else {
+			probed = gs.GatedSearchFeatures(lo, hi, gate, visit)
+		}
+		return out, probed
+	}
+	probed := 0
+	outer := func(e *archive.Entry) bool {
+		probed++
+		if gate(e.Features.Vector()) {
+			out = append(out, e)
+		}
+		return true
+	}
+	if w.PositionSensitive {
+		sh.SearchLocation(targetMBR, outer)
+	} else {
+		sh.SearchFeatures(lo, hi, outer)
+	}
+	return out, probed
 }
 
 // RefineDistance is the grid-cell-level distance the refine phase
@@ -174,32 +195,32 @@ func Run(src Source, q Query) ([]Match, Stats, error) {
 	targetMBR := q.Target.MBR()
 	lo, hi := FeatureRanges(targetFeat, w, q.Threshold)
 
-	// --- Phase 1: filter — parallel index probes across shards ------------
+	// --- Phase 1: filter — parallel gated index probes across shards ------
 	// Shards are disjoint and independently searchable (the memory tier
 	// plus one per disk segment); each task probes one shard into its own
-	// slot. Candidates are then merged in id order so every later phase is
-	// independent of the shard layout and probe timing.
+	// slot, applying the exact cluster-level feature distance as a gate
+	// during the probe (fused filter: on columnar disk shards the range
+	// test and the gate run off one sequential scan, and only survivors
+	// materialize an Entry). Survivors are then merged in id order so
+	// every later phase is independent of the shard layout and probe
+	// timing; the reported candidate counts are gate-independent, so the
+	// fused path's statistics equal the probe-then-gate path's.
+	gate := func(v [4]float64) bool {
+		return FeatureDistance(targetFeat, v, w) <= q.Threshold
+	}
 	shards := filterShards(src)
 	st.FilterShards = len(shards)
 	perShard := make([][]*archive.Entry, len(shards))
+	probed := make([]int, len(shards))
 	par.ForEach(q.Workers, len(shards), func(i int) {
-		perShard[i] = filterOne(shards[i], w, targetMBR, lo, hi)
+		perShard[i], probed[i] = filterOne(shards[i], gate, w, targetMBR, lo, hi)
 	})
-	var candidates []*archive.Entry
-	for _, part := range perShard {
-		candidates = append(candidates, part...)
+	var refine []*archive.Entry
+	for i, part := range perShard {
+		refine = append(refine, part...)
+		st.IndexCandidates += probed[i]
 	}
-	sort.Slice(candidates, func(i, j int) bool { return candidates[i].ID < candidates[j].ID })
-	st.IndexCandidates = len(candidates)
-
-	// Exact cluster-level feature distance on the candidates; only those
-	// within the threshold proceed to the expensive grid-level match.
-	refine := candidates[:0]
-	for _, e := range candidates {
-		if FeatureDistance(targetFeat, e.Features.Vector(), w) <= q.Threshold {
-			refine = append(refine, e)
-		}
-	}
+	sort.Slice(refine, func(i, j int) bool { return refine[i].ID < refine[j].ID })
 	st.Refined = len(refine)
 
 	// --- Phase 2: refine — parallel grid-cell-level cluster match ---------

@@ -5,44 +5,65 @@
 // (the off-line analysis workload of §3.2 assumes the pattern base keeps
 // every archived summary; the memory tier alone cannot).
 //
-// # On-disk format
+// # On-disk format (v3, current)
 //
 // A segment file holds a batch of archived summaries demoted from the
-// memory tier, in FIFO (archive) order:
+// memory tier, in FIFO (archive) order. The current format is columnar:
+// every fixed-width filter-phase feature lives in a densely packed
+// array, laid out for sequential scanning, and the variable-width
+// summary blobs follow in their own region:
 //
-//	header  "SGSLOG1\n"                          — the archive.Appender log magic
-//	records repeat{ length u32 | sgs.Marshal blob }  — Appender record framing
-//	footer  "SGSFTR2\n" | dim u8 | count u32 |
-//	        per record: id i64 | blobOff u64 | blobLen u32 |
-//	                    MBR min dim×f64 | MBR max dim×f64 | features 4×f64
-//	        zone: union MBR min/max dim×f64 each | feature min 4×f64 | feature max 4×f64
-//	trailer footerOff u64 | footerLen u32 | crc32(footer) u32 | "SGSEND1\n"
+//	header   "SGSSEG3\n"
+//	columns  ids   count×i64      — record ids, archive order
+//	         offs  count×u64      — absolute file offset of each blob
+//	         lens  count×u32
+//	         (pad to 8-byte alignment)
+//	         mbrs  count × (min dim×f64 | max dim×f64)
+//	         feats count × 4×f64  — non-locational feature vectors
+//	blobs    count sgs.Marshal blobs, packed, no per-record framing
+//	footer   "SGSFTR3\n" | dim u8 | count u32 |
+//	         colOff u64 | colLen u64 | blobOff u64 | blobLen u64 |
+//	         crc32(columns) u32 |
+//	         zone: union MBR min/max dim×f64 each | feature min 4×f64 | feature max 4×f64
+//	trailer  footerOff u64 | footerLen u32 | crc32(footer) u32 | "SGSEND1\n"
+//
+// OpenSegment maps the file read-only (mmap) and serves the filter
+// phase straight from the mapping: GatedSearchLocation and
+// GatedSearchFeatures are linear scans of the mbrs/feats columns that
+// run the range test and the exact feature gate fused, with zero
+// allocation and no per-candidate syscall — only gate survivors
+// materialize anything, and only refine survivors decode a blob (Load
+// decodes directly from the mapping). When mmap is unavailable or
+// disabled (SetMmapEnabled, or SGS_MMAP=off in the environment) the
+// columns are read into one heap copy at open and blob loads fall back
+// to pread into a pooled scratch buffer; every result is bit-identical
+// either way.
 //
 // The footer's zone block is the segment's filter zone — the union of
 // its records' MBRs and the per-dimension min/max of their feature
-// vectors. SearchLocation and SearchFeatures test the query range
-// against the zone first and skip the segment's indices entirely when it
-// cannot match, so a filter phase fanned across many segments touches
-// only the segments whose range overlaps the query. v1 footers
-// ("SGSFTR1\n", no zone block) still open; their zone is derived from
-// the records.
+// vectors. Searches test the query range against the zone first and
+// skip the segment's columns entirely when it cannot match, so a filter
+// phase fanned across many segments touches only the segments whose
+// range overlaps the query.
 //
-// The record region is byte-identical to an archive.Appender log: a
-// segment whose footer or trailer is damaged is still a recoverable
-// append log (archive.Base.LoadAppended salvages the intact record
-// prefix). The footer is the segment's serialized index: it carries the
-// id, byte range, bounding rectangle and non-locational feature vector
-// of every record, so OpenSegment rebuilds the segment's R-tree and
-// feature-grid probe structures from the footer alone — record blobs are
-// only read (lazily, via pread) when the refine phase of a matching
-// query actually needs a candidate's cells.
+// # Legacy formats
 //
-// Validity is all-or-nothing: OpenSegment verifies the end magic, the
-// trailer's geometry (footerOff + footerLen + trailer == file size), the
-// footer CRC, the header magic and every record's byte range before
-// exposing anything. A file truncated at any byte offset fails one of
-// those checks and is rejected whole — a torn segment is never loaded
-// (see the recovery sweep in segment_test.go).
+// v1/v2 segments ("SGSLOG1\n" header, length-prefixed blob records, a
+// serialized-index footer — "SGSFTR2\n" with the zone block, "SGSFTR1\n"
+// without) still open read-only: their footer rebuilds in-memory R-tree
+// and feature-grid probe structures, and their record region remains
+// byte-identical to an archive.Appender log (a damaged legacy segment is
+// salvageable with archive.Base.LoadAppended). A store may hold any mix
+// of versions; compaction rewrites whatever it merges into v3. All new
+// segments are written v3.
+//
+// Validity is all-or-nothing in every format: OpenSegment verifies the
+// end magic, the trailer's geometry (footerOff + footerLen + trailer ==
+// file size), the footer CRC, the header magic, the columnar-region CRC
+// (v3) and every record's byte range before exposing anything. A file
+// truncated at any byte offset fails one of those checks and is rejected
+// whole — a torn segment is never loaded (see the recovery sweep in
+// segment_test.go, which CI runs with mmap both on and off).
 //
 // # Store, manifest, compaction
 //
@@ -70,17 +91,20 @@
 // ever replaces adjacent runs in place, so the store-wide record
 // sequence is preserved.
 //
-// # Concurrency and the read contract
+// # Concurrency, mapping lifetime and the read contract
 //
 // Segments are immutable after OpenSegment: any number of goroutines may
-// probe SearchLocation/SearchFeatures concurrently (the same read-only
-// traversal contract as internal/rtree and internal/featidx) and Load
-// records concurrently (pread). View pins the current segment set plus a
-// copy of the tombstones — the store analogue of archive.Snapshot — and
-// remains searchable while flushes, tombstones and compactions proceed:
-// a compaction retires replaced segments by unlinking them, but their
-// open file handles keep every pinned View readable until the View (and
-// the Segments it pins) become unreachable. Store.Close stops the
-// compactor and closes all live segments; Views must not be used after
-// Close.
+// probe the search methods concurrently (the same read-only traversal
+// contract as internal/rtree and internal/featidx) and Load records
+// concurrently. View pins the current segment set plus a copy of the
+// tombstones — the store analogue of archive.Snapshot — and remains
+// searchable while flushes, tombstones and compactions proceed: a
+// compaction retires replaced segments by unlinking them, but an mmap
+// (like an open file handle) survives unlink, so every pinned View stays
+// readable until the View (and the Segments it pins) become unreachable,
+// at which point a finalizer unmaps and closes. Blob slices returned by
+// LoadBlob on a mapped segment are views into that mapping and share its
+// lifetime — copy them to retain them past the pinning View. Store.Close
+// stops the compactor and unmaps/closes all live segments; Views must
+// not be used after Close.
 package segstore

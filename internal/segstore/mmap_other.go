@@ -1,0 +1,18 @@
+//go:build !unix
+
+package segstore
+
+import (
+	"errors"
+	"os"
+)
+
+var errNoMmap = errors.New("segstore: mmap unsupported on this platform")
+
+// mmapFile always fails on platforms without Unix mmap; OpenSegment
+// falls back to the pread path.
+func mmapFile(f *os.File, size int64) ([]byte, error) {
+	return nil, errNoMmap
+}
+
+func munmapFile(b []byte) error { return nil }

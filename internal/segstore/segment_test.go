@@ -365,9 +365,10 @@ func TestSegstoreRecovery(t *testing.T) {
 	}
 }
 
-// TestSegmentZone checks the v2 footer's filter zone: it must bound
-// every record, disjoint queries must return nothing (the skip path),
-// and a v1 footer (no zone block) must still open with a derived zone.
+// TestSegmentZone checks the footer's filter zone across all three
+// formats: it must bound every record, disjoint queries must return
+// nothing (the skip path), a v2 footer must carry the same zone, and a
+// v1 footer (no zone block) must still open with a derived zone.
 func TestSegmentZone(t *testing.T) {
 	dir := t.TempDir()
 	entries := makeEntries(t, 12, 3, 0)
@@ -378,6 +379,9 @@ func TestSegmentZone(t *testing.T) {
 	seg, err := OpenSegment(path)
 	if err != nil {
 		t.Fatal(err)
+	}
+	if seg.Format() != 3 {
+		t.Fatalf("current writer produced format %d", seg.Format())
 	}
 	mbr, fmin, fmax := seg.Zone()
 	for _, r := range seg.Records() {
@@ -422,13 +426,29 @@ func TestSegmentZone(t *testing.T) {
 		}
 	}
 
-	// Rewrite the same records under a v1 footer (records only, v1
-	// magic): OpenSegment must derive an identical zone.
-	recs := seg.Records()
-	v1 := encodeFooter(2, recs)
+	// Rewrite the same records as a legacy v2 file, then under a v1
+	// footer (records only, v1 magic): OpenSegment must derive an
+	// identical zone.
+	v2path := filepath.Join(dir, "zone-v2.sgsseg")
+	if err := writeSegmentV2(v2path, 2, entries); err != nil {
+		t.Fatal(err)
+	}
+	seg2, err := OpenSegment(v2path)
+	if err != nil {
+		t.Fatalf("v2 segment rejected: %v", err)
+	}
+	if seg2.Format() != 2 {
+		t.Fatalf("v2 segment reports format %d", seg2.Format())
+	}
+	mbr2, fmin2, fmax2 := seg2.Zone()
+	if !reflect.DeepEqual(mbr2, mbr) || fmin2 != fmin || fmax2 != fmax {
+		t.Fatalf("v2 zone differs from v3: %v %v %v vs %v %v %v", mbr2, fmin2, fmax2, mbr, fmin, fmax)
+	}
+	recs := seg2.Records()
+	v1 := encodeFooterV2(2, recs)
 	copy(v1[:8], footerMagicV1[:])
 	v1 = v1[:len(v1)-(2*16+64)] // drop the zone block
-	raw, err := os.ReadFile(path)
+	raw, err := os.ReadFile(v2path)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -451,6 +471,9 @@ func TestSegmentZone(t *testing.T) {
 	seg1, err := OpenSegment(v1path)
 	if err != nil {
 		t.Fatalf("v1 footer rejected: %v", err)
+	}
+	if seg1.Format() != 1 {
+		t.Fatalf("v1 segment reports format %d", seg1.Format())
 	}
 	mbr1, fmin1, fmax1 := seg1.Zone()
 	if !reflect.DeepEqual(mbr1, mbr) || fmin1 != fmin || fmax1 != fmax {

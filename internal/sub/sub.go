@@ -461,13 +461,27 @@ func (r *Registry) Offer(entries []*archive.Entry) error {
 	// Refine: one grid-cell-level match per surviving pair, fanned across
 	// the workers; each task writes only its own slot. Pairs were sorted
 	// by (subscription id, entry index) after the probe, so slot order —
-	// and therefore delivery order — is independent of worker count.
+	// and therefore delivery order — is independent of worker count. An
+	// entry matched by several subscriptions resolves its summary once
+	// (sync.Once per entry slot), not once per pair — for disk-resident
+	// entries that is one segment read instead of one per subscription.
+	type sumSlot struct {
+		once sync.Once
+		sum  *sgs.Summary
+		err  error
+	}
+	slots := make([]sumSlot, len(entries))
+	loadOnce := func(ei int) (*sgs.Summary, error) {
+		sl := &slots[ei]
+		sl.once.Do(func() { sl.sum, sl.err = entries[ei].LoadSummary() })
+		return sl.sum, sl.err
+	}
 	dists := make([]float64, len(pairs))
 	sums := make([]*sgs.Summary, len(pairs))
 	errs := make([]error, len(pairs))
 	par.ForEach(r.workers, len(pairs), func(i int) {
 		p := pairs[i]
-		sum, err := entries[p.ei].LoadSummary()
+		sum, err := loadOnce(p.ei)
 		if err != nil {
 			errs[i] = err
 			return

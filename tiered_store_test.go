@@ -8,6 +8,7 @@ import (
 	"streamsum/internal/archive"
 	"streamsum/internal/gen"
 	"streamsum/internal/match"
+	"streamsum/internal/segstore"
 	"streamsum/internal/sgs"
 )
 
@@ -57,6 +58,21 @@ func tieredEngine(t *testing.T, extra Options) *Engine {
 // StoreMaxMemBytes returns results identical to the all-in-memory run at
 // every MatchWorkers count, while the memory tier stays within its cap.
 func TestTieredMatchIdenticalAcrossWorkers(t *testing.T) {
+	runTieredMatchIdentical(t)
+}
+
+// TestTieredMatchIdenticalPread repeats the tiered determinism check
+// with memory mapping disabled, so the disk tier's whole read path —
+// columnar scans off a heap copy, pooled pread blob loads — is the
+// fallback one. Results must still be byte-identical to the all-
+// in-memory run at every worker count.
+func TestTieredMatchIdenticalPread(t *testing.T) {
+	prev := segstore.SetMmapEnabled(false)
+	defer segstore.SetMmapEnabled(prev)
+	runTieredMatchIdentical(t)
+}
+
+func runTieredMatchIdentical(t *testing.T) {
 	const maxMem = 32 << 10
 	memEng, tierEng := tieredStreamEngines(t, maxMem)
 	defer func() {
