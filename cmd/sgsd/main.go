@@ -16,7 +16,10 @@
 // with -store-mem) demote into immutable on-disk segments that stay
 // matchable, so /match queries span the whole stream history while
 // resident memory stays bounded; on clean exit the memory tier is
-// flushed to the store, which then survives restarts.
+// flushed to the store, which then survives restarts. With -store-cache
+// BYTES, decoded summaries of disk-resident clusters are cached (the
+// budget is carved out of -store-mem), so repeated queries over the
+// same history decode each summary once; /stats reports the hit ratio.
 //
 // With -batch N (N = the query's slide is a good choice), tuples are fed
 // through the engine's batched ingest path, whose neighbor-discovery phase
@@ -106,6 +109,7 @@ func main() {
 	httpAddr := flag.String("http", "", "serve matching queries over HTTP on this address (e.g. :8080) concurrently with ingestion; implies archiving")
 	storePath := flag.String("store", "", "attach a disk tier to the pattern base under this directory; implies archiving. Evicted summaries demote into on-disk segments (inspect with sgstool inspect), stay matchable, and survive restarts — the memory tier is flushed to the store on clean exit")
 	storeMem := flag.Int("store-mem", 0, "memory-tier byte budget for the pattern base (requires -store); overflow demotes the oldest summaries to disk. 0 = no byte bound")
+	storeCache := flag.Int("store-cache", 0, "decoded-summary cache budget in bytes (requires -store); carved out of -store-mem when both are set, so it must be smaller. Repeat queries over disk-resident summaries then decode once per residency. 0 = off")
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(), `sgsd runs a continuous clustering query (the paper's Figure 2) over a
 stream and emits one JSON line per window with the clusters in both
@@ -198,6 +202,7 @@ Flags:
 	opts.SubWorkers = *subWorkers
 	opts.StorePath = *storePath
 	opts.StoreMaxMemBytes = *storeMem
+	opts.SummaryCacheBytes = *storeCache
 	eng, err := streamsum.New(opts)
 	if err != nil {
 		log.Fatal(err)
@@ -615,8 +620,18 @@ func subscribeHandler(eng *streamsum.Engine, shutdown <-chan struct{}) http.Hand
 	}
 }
 
+// cacheHitRatio is the decoded-summary cache's hit fraction, 0 when the
+// cache is disabled or untouched.
+func cacheHitRatio(hits, misses uint64) float64 {
+	if hits+misses == 0 {
+		return 0
+	}
+	return float64(hits) / float64(hits+misses)
+}
+
 // statsHandler reports the pattern base's current size (split across the
-// memory and disk tiers) and the standing-query registry's activity.
+// memory and disk tiers), the decoded-summary cache, and the
+// standing-query registry's activity.
 func statsHandler(eng *streamsum.Engine) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		base := eng.PatternBase()
@@ -635,6 +650,13 @@ func statsHandler(eng *streamsum.Engine) http.HandlerFunc {
 			"segment_bytes":       ts.SegBytes,
 			"segment_dead":        ts.SegDead,
 			"segment_compactions": ts.Compactions,
+			"cache_hits":          ts.CacheHits,
+			"cache_misses":        ts.CacheMisses,
+			"cache_hit_ratio":     cacheHitRatio(ts.CacheHits, ts.CacheMisses),
+			"cache_evicted":       ts.CacheEvicted,
+			"cache_entries":       ts.CacheEntries,
+			"cache_bytes":         ts.CacheBytes,
+			"cache_budget":        ts.CacheBudget,
 			"subscriptions":       ss.Subscriptions,
 			"sub_windows":         ss.Windows,
 			"sub_candidates":      ss.Candidates,

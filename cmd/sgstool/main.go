@@ -14,8 +14,12 @@
 //	                                    # tombstoned summaries
 //
 // File subcommands read through one pattern-base snapshot, the same
-// read-only view matching queries use against a live archiver; inspect
-// reads the segment footers only (no summary blobs are decoded).
+// read-only view matching queries use against a live archiver. inspect
+// reads the segment footers for the per-segment lines, then decodes
+// every live summary blob twice through a decoded-summary cache
+// (internal/sumcache) — a validation pass whose warm hit ratio and
+// resident bytes appear on the final "sumcache:" line (or "sumcache:
+// off" under SGS_SUMCACHE=off).
 package main
 
 import (
@@ -29,6 +33,8 @@ import (
 	"streamsum/internal/archive"
 	"streamsum/internal/match"
 	"streamsum/internal/segstore"
+	"streamsum/internal/sgs"
+	"streamsum/internal/sumcache"
 )
 
 func main() {
@@ -217,6 +223,50 @@ func printStore(w io.Writer, st *segstore.Store) {
 			"", mbr,
 			fmin[0], fmax[0], fmin[1], fmax[1], fmin[2], fmax[2], fmin[3], fmax[3])
 	}
+	printCacheSmoke(w, v, s.LiveBytes)
+}
+
+// printCacheSmoke decodes every live record twice through a decoded-
+// summary cache sized to hold them all — a blob-validation pass that
+// doubles as a residency check: the warm pass must hit for every record
+// the cache retained. The budget is scaled so each shard's share covers
+// the full live payload (the cache stripes its bound across shards, and
+// ids need not spread evenly). Reports "off" when SGS_SUMCACHE=off
+// disables the layer.
+func printCacheSmoke(w io.Writer, v *segstore.View, liveBytes int) {
+	c := sumcache.New(sumcache.NumShards * (liveBytes + 1))
+	if c == nil {
+		fmt.Fprintln(w, "sumcache: off")
+		return
+	}
+	decode := func() error {
+		for _, seg := range v.Segments() {
+			for _, r := range seg.Records() {
+				if v.Dead(r.ID) {
+					continue
+				}
+				if _, err := c.GetOrLoad(seg, r.ID, int(r.Len), func() (*sgs.Summary, error) {
+					return seg.Load(r)
+				}); err != nil {
+					return fmt.Errorf("record %d: %v", r.ID, err)
+				}
+			}
+		}
+		return nil
+	}
+	for pass := 0; pass < 2; pass++ {
+		if err := decode(); err != nil {
+			fmt.Fprintf(w, "sumcache: decode failed: %v\n", err)
+			return
+		}
+	}
+	st := c.Stats()
+	ratio := 0.0
+	if st.Hits+st.Misses > 0 {
+		ratio = float64(st.Hits) / float64(st.Hits+st.Misses)
+	}
+	fmt.Fprintf(w, "sumcache: warm hit ratio %.2f  resident %d summaries, %.1f KB\n",
+		ratio, st.Entries, float64(st.Bytes)/1024)
 }
 
 func load(path string, dim int) (*archive.Base, error) {

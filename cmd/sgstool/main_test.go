@@ -13,6 +13,7 @@ import (
 	"streamsum/internal/grid"
 	"streamsum/internal/segstore"
 	"streamsum/internal/sgs"
+	"streamsum/internal/sumcache"
 )
 
 // storeEntries builds n flush entries from real clustered summaries.
@@ -115,8 +116,9 @@ func TestInspectOutput(t *testing.T) {
 	printStore(&buf, st2)
 	out := buf.String()
 	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
-	// Header, column header, then two lines (stats + zone) per segment.
-	if len(lines) != 2+2*2 {
+	// Header, column header, two lines (stats + zone) per segment, then
+	// the sumcache smoke line.
+	if len(lines) != 2+2*2+1 {
 		t.Fatalf("inspect printed %d lines:\n%s", len(lines), out)
 	}
 	if !strings.HasPrefix(lines[0], "segments: 2  records: 5 live / 6 total") {
@@ -140,5 +142,22 @@ func TestInspectOutput(t *testing.T) {
 	}
 	if !strings.Contains(lines[2], " 3 ") || !strings.Contains(lines[2], " 1 ") {
 		t.Fatalf("first segment should show 3 records 1 dead: %q", lines[2])
+	}
+	// The cache smoke pass decodes every live record twice: the warm pass
+	// hits for all of them (ratio 0.50) and they all stay resident.
+	cacheLine := lines[len(lines)-1]
+	if !strings.HasPrefix(cacheLine, "sumcache: warm hit ratio 0.50  resident 5 summaries") {
+		t.Fatalf("cache line: %q", cacheLine)
+	}
+
+	// With the layer disabled the line degrades to "off" — the uncached
+	// path an operator gets under SGS_SUMCACHE=off.
+	prev := sumcache.SetEnabled(false)
+	defer sumcache.SetEnabled(prev)
+	buf.Reset()
+	printStore(&buf, st2)
+	lines = strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if got := lines[len(lines)-1]; got != "sumcache: off" {
+		t.Fatalf("disabled cache line: %q", got)
 	}
 }

@@ -10,6 +10,7 @@ import (
 	"streamsum/internal/rtree"
 	"streamsum/internal/segstore"
 	"streamsum/internal/sgs"
+	"streamsum/internal/sumcache"
 )
 
 // Config controls archiving policy.
@@ -55,6 +56,18 @@ type Config struct {
 	// segment size (0 = segstore default). Mostly for tests and
 	// benchmarks that need a specific segment layout.
 	StoreSegmentBytes int
+	// SummaryCacheBytes bounds the decoded-summary cache
+	// (internal/sumcache): disk-resident summaries decoded by
+	// Entry.LoadSummary stay resident — charged at their encoded size,
+	// the same unit as MaxMemBytes — until evicted LRU, so repeated
+	// queries decode each summary once per residency instead of once per
+	// query. Requires StorePath. With MaxMemBytes set the cache's budget
+	// is carved out of it (memory tier demotes down to MaxMemBytes -
+	// SummaryCacheBytes, so tier + cache together stay under the one
+	// bound) and must therefore be smaller than MaxMemBytes. 0 — or
+	// SGS_SUMCACHE=off in the environment — disables the cache; every
+	// load then decodes from disk.
+	SummaryCacheBytes int
 }
 
 // Entry is one archived cluster. Entries are immutable once archived:
@@ -81,9 +94,14 @@ type Entry struct {
 }
 
 // LoadSummary returns the entry's summary, reading it from the disk tier
-// when the entry is disk-resident. It does not cache: repeated calls on
-// a disk-resident entry repeat the read, keeping resident memory bounded
-// by what callers actually hold.
+// when the entry is disk-resident. With a decoded-summary cache
+// configured (Config.SummaryCacheBytes) the read consults the residency
+// layer first — concurrent loads of one record singleflight into one
+// decode, and repeated loads hit until eviction. Without one, repeated
+// calls repeat the read, keeping resident memory bounded by what callers
+// actually hold. Either way the returned summary is shared and immutable:
+// callers must never mutate it (the same contract memory-tier summaries
+// already carry).
 func (e *Entry) LoadSummary() (*sgs.Summary, error) {
 	if e.Summary != nil {
 		return e.Summary, nil
@@ -152,7 +170,9 @@ type Base struct {
 	bytes       int                // live encoded bytes across both tiers
 	memCount    int                // live entries in the memory tier (excluding in-flight demotions)
 	memBytes    int                // live encoded bytes in the memory tier (excluding in-flight demotions)
+	memBudget   int                // memory-tier byte bound: MaxMemBytes minus the cache's share (0 = unbounded)
 	store       *segstore.Store    // disk tier; nil when StorePath is unset
+	cache       *sumcache.Cache    // decoded-summary residency layer; nil when disabled
 	snap        *Snapshot          // cached read view; nil after any mutation
 
 	// Background demoter state (store-backed bases only). Batches queue
@@ -185,6 +205,13 @@ func New(cfg Config) (*Base, error) {
 	if cfg.MaxMemBytes > 0 && cfg.StorePath == "" {
 		return nil, fmt.Errorf("archive: MaxMemBytes requires StorePath")
 	}
+	if cfg.SummaryCacheBytes > 0 && cfg.StorePath == "" {
+		return nil, fmt.Errorf("archive: SummaryCacheBytes requires StorePath (memory-tier entries are already decoded)")
+	}
+	if cfg.MaxMemBytes > 0 && cfg.SummaryCacheBytes >= cfg.MaxMemBytes {
+		return nil, fmt.Errorf("archive: SummaryCacheBytes %d must be below MaxMemBytes %d (tier and cache share that bound)",
+			cfg.SummaryCacheBytes, cfg.MaxMemBytes)
+	}
 	b := &Base{
 		cfg:    cfg,
 		rng:    rand.New(rand.NewSource(cfg.Seed)),
@@ -192,10 +219,27 @@ func New(cfg Config) (*Base, error) {
 		dead:   make(map[int64]struct{}),
 	}
 	if cfg.StorePath != "" {
-		st, err := segstore.Open(cfg.StorePath, segstore.Options{
+		// The cache share is carved out of MaxMemBytes up front (not
+		// tracked live) so the sum of memory-tier bytes and cache
+		// residency is bounded at all times, not just at demotion points.
+		// With the cache disabled (env/off or zero budget) the memory
+		// tier gets the whole bound back.
+		b.cache = sumcache.New(cfg.SummaryCacheBytes)
+		if cfg.MaxMemBytes > 0 {
+			b.memBudget = cfg.MaxMemBytes - b.cache.Budget()
+		}
+		sopts := segstore.Options{
 			Dim:                cfg.Dim,
 			TargetSegmentBytes: cfg.StoreSegmentBytes,
-		})
+		}
+		if b.cache != nil {
+			// Compaction rewrites records into fresh segments; the retired
+			// sources' cached decodes are stale keys that would otherwise
+			// hold bytes (and pin mappings) until LRU pressure found them.
+			cache := b.cache
+			sopts.OnRetire = func(seg *segstore.Segment) { cache.InvalidateOwner(seg) }
+		}
+		st, err := segstore.Open(cfg.StorePath, sopts)
 		if err != nil {
 			return nil, err
 		}
@@ -370,8 +414,9 @@ func (b *Base) putLocked(s *sgs.Summary) (int64, bool, error) {
 
 // demoteLocked hands the oldest memory-tier entries to the background
 // demoter when admitting an entry of incoming bytes would push the
-// memory tier past MaxMemBytes or Capacity. It demotes down to 7/8 of
-// the violated bound (hysteresis: one segment absorbs many Puts). The
+// memory tier past its byte budget (MaxMemBytes minus the decoded-
+// summary cache's share) or Capacity. It demotes down to 7/8 of the
+// violated bound (hysteresis: one segment absorbs many Puts). The
 // batch's entries leave the memory-tier accounting immediately but stay
 // snapshot-visible until their segment commits, so queries never observe
 // a gap; the segment write and fsync happen on the demoter goroutine,
@@ -380,17 +425,17 @@ func (b *Base) demoteLocked(incoming int) error {
 	if b.store == nil {
 		return nil
 	}
-	overBytes := b.cfg.MaxMemBytes > 0 && b.memBytes+incoming > b.cfg.MaxMemBytes
+	overBytes := b.memBudget > 0 && b.memBytes+incoming > b.memBudget
 	overCount := b.cfg.Capacity > 0 && b.memCount+1 > b.cfg.Capacity
 	if !overBytes && !overCount {
 		return nil
 	}
 	byteGoal, countGoal := -1, -1
-	if b.cfg.MaxMemBytes > 0 {
+	if b.memBudget > 0 {
 		// Clamp at 0: an incoming entry near (or beyond) the whole budget
 		// must demote everything resident, not disable the bound — a
 		// negative goal would read as the "unbounded" sentinel below.
-		byteGoal = max(b.cfg.MaxMemBytes-b.cfg.MaxMemBytes/8-incoming, 0)
+		byteGoal = max(b.memBudget-b.memBudget/8-incoming, 0)
 	}
 	if b.cfg.Capacity > 0 {
 		countGoal = max(b.cfg.Capacity-b.cfg.Capacity/8-1, 0)
@@ -616,6 +661,10 @@ func (b *Base) removeFromStoreLocked(id int64) bool {
 	if err != nil || !ok {
 		return false
 	}
+	// A removed record is never legitimately loaded again; drop its
+	// cached decode now rather than letting it occupy budget until LRU
+	// pressure finds it.
+	b.cache.InvalidateID(id)
 	b.count--
 	b.bytes -= int(rec.Len)
 	b.snap = nil
@@ -757,6 +806,16 @@ type TierStats struct {
 	SegBytes    int // live encoded bytes
 	SegDead     int // tombstoned records awaiting compaction
 	Compactions uint64
+	// Decoded-summary cache (internal/sumcache); all zero when the cache
+	// is disabled. CacheBytes is the resident encoded-size charge and,
+	// with MaxMemBytes set, shares that bound with MemBytes (the memory
+	// tier demotes down to MaxMemBytes - CacheBudget).
+	CacheHits    uint64
+	CacheMisses  uint64
+	CacheEvicted uint64
+	CacheEntries int
+	CacheBytes   int
+	CacheBudget  int
 }
 
 // TierStats returns the current tier split.
@@ -767,7 +826,7 @@ func (b *Base) TierStats() TierStats {
 		ts.DemotingEntries += batch.count
 		ts.DemotingBytes += batch.bytes
 	}
-	store := b.store
+	store, cache := b.store, b.cache
 	b.mu.Unlock()
 	if store != nil {
 		s := store.Stats()
@@ -776,6 +835,15 @@ func (b *Base) TierStats() TierStats {
 		ts.SegBytes = s.LiveBytes
 		ts.SegDead = s.Records - s.LiveRecords
 		ts.Compactions = s.Compactions
+	}
+	if cache != nil {
+		cs := cache.Stats()
+		ts.CacheHits = cs.Hits
+		ts.CacheMisses = cs.Misses
+		ts.CacheEvicted = cs.Evicted
+		ts.CacheEntries = cs.Entries
+		ts.CacheBytes = int(cs.Bytes)
+		ts.CacheBudget = cache.Budget()
 	}
 	return ts
 }

@@ -8,6 +8,7 @@ import (
 	"streamsum/internal/rtree"
 	"streamsum/internal/segstore"
 	"streamsum/internal/sgs"
+	"streamsum/internal/sumcache"
 )
 
 // Snapshot is an immutable point-in-time view of the pattern base: the
@@ -27,9 +28,10 @@ type Snapshot struct {
 	demoting []*Entry // in-flight demotions not yet visible in view, oldest first
 	delta    []*Entry
 	dead     map[int64]struct{}
-	view     *segstore.View // disk tier; nil for memory-only bases
-	count    int            // live entries across both tiers
-	bytes    int            // live encoded bytes across both tiers
+	view     *segstore.View  // disk tier; nil for memory-only bases
+	cache    *sumcache.Cache // decoded-summary residency layer; nil when disabled
+	count    int             // live entries across both tiers
+	bytes    int             // live encoded bytes across both tiers
 
 	// unindexed maps the delta + demoting entries by id, built lazily on
 	// the first Get so per-id lookups (the standing-query wiring resolves
@@ -66,7 +68,7 @@ func (b *Base) Snapshot() *Snapshot {
 	if b.snap != nil {
 		return b.snap
 	}
-	s := &Snapshot{gen: b.frozen, count: b.count, bytes: b.bytes}
+	s := &Snapshot{gen: b.frozen, cache: b.cache, count: b.count, bytes: b.bytes}
 	if len(b.delta) > 0 {
 		s.delta = append(make([]*Entry, 0, len(b.delta)), b.delta...)
 	}
@@ -113,14 +115,23 @@ func (s *Snapshot) isDead(id int64) bool {
 }
 
 // segEntry wraps one disk-resident record as an Entry: the filter-phase
-// features come from the segment footer; the summary loads lazily.
-func segEntry(seg *segstore.Segment, r segstore.Record) *Entry {
+// features come from the segment footer; the summary loads lazily
+// through the decoded-summary cache (keyed by the segment — immutable,
+// so its decodes never go stale — and the record id). A nil cache means
+// every load decodes from the segment. This closure is the single
+// residency choke point: match refine, batch novelty probes, standing-
+// query evaluation, Snapshot.Get and base dumps all load through it.
+func segEntry(cache *sumcache.Cache, seg *segstore.Segment, r segstore.Record) *Entry {
 	return &Entry{
 		ID:       r.ID,
 		MBR:      r.MBR,
 		Features: sgs.FeaturesFromVector(r.Feat),
 		Bytes:    int(r.Len),
-		load:     func() (*sgs.Summary, error) { return seg.Load(r) },
+		load: func() (*sgs.Summary, error) {
+			return cache.GetOrLoad(seg, r.ID, int(r.Len), func() (*sgs.Summary, error) {
+				return seg.Load(r)
+			})
+		},
 	}
 }
 
@@ -144,11 +155,12 @@ func (s *Snapshot) Get(id int64) *Entry {
 	// live on disk.
 	if s.view != nil {
 		if seg, r, ok := s.view.Get(id); ok {
-			sum, err := seg.Load(r)
+			e := segEntry(s.cache, seg, r)
+			sum, err := e.LoadSummary()
 			if err != nil {
 				return nil
 			}
-			return segEntry(seg, r).WithSummary(sum)
+			return e.WithSummary(sum)
 		}
 	}
 	return nil
@@ -264,10 +276,12 @@ func (m memShard) GatedSearchFeatures(lo, hi [4]float64, gate func([4]float64) b
 }
 
 // segShard is one disk segment as a filter shard, masked by the store
-// tombstones pinned in the snapshot's view.
+// tombstones pinned in the snapshot's view. Entries it surfaces load
+// their summaries through the snapshot's decoded-summary cache.
 type segShard struct {
-	seg  *segstore.Segment
-	view *segstore.View
+	seg   *segstore.Segment
+	view  *segstore.View
+	cache *sumcache.Cache
 }
 
 // SearchLocation visits the segment's live records whose MBR intersects
@@ -277,7 +291,7 @@ func (g segShard) SearchLocation(q geom.MBR, visit func(*Entry) bool) {
 		if g.view.Dead(r.ID) {
 			return true
 		}
-		return visit(segEntry(g.seg, r))
+		return visit(segEntry(g.cache, g.seg, r))
 	})
 }
 
@@ -288,7 +302,7 @@ func (g segShard) SearchFeatures(lo, hi [4]float64, visit func(*Entry) bool) {
 		if g.view.Dead(r.ID) {
 			return true
 		}
-		return visit(segEntry(g.seg, r))
+		return visit(segEntry(g.cache, g.seg, r))
 	})
 }
 
@@ -307,7 +321,7 @@ func (g segShard) GatedSearchLocation(q geom.MBR, gate func([4]float64) bool, vi
 		if gate != nil && !gate(r.Feat) {
 			return true
 		}
-		return visit(segEntry(g.seg, r))
+		return visit(segEntry(g.cache, g.seg, r))
 	})
 	return probed
 }
@@ -325,7 +339,7 @@ func (g segShard) GatedSearchFeatures(lo, hi [4]float64, gate func([4]float64) b
 		if gate != nil && !gate(r.Feat) {
 			return true
 		}
-		return visit(segEntry(g.seg, r))
+		return visit(segEntry(g.cache, g.seg, r))
 	})
 	return probed
 }
@@ -354,7 +368,7 @@ func (s *Snapshot) segShards() []segShard {
 	segs := s.view.Segments()
 	out := make([]segShard, len(segs))
 	for i, seg := range segs {
-		out[i] = segShard{seg: seg, view: s.view}
+		out[i] = segShard{seg: seg, view: s.view, cache: s.cache}
 	}
 	return out
 }
@@ -409,7 +423,7 @@ func (s *Snapshot) All(visit func(*Entry) bool) {
 				if s.view.Dead(r.ID) {
 					continue
 				}
-				if !visit(segEntry(seg, r)) {
+				if !visit(segEntry(s.cache, seg, r)) {
 					return
 				}
 			}

@@ -146,9 +146,14 @@ func (st *Store) compactOnce() (bool, error) {
 	st.segs = newSegs
 	st.compactions++
 	// Retire the inputs: unlink now, close when the last pinned View
-	// lets go (the finalizer set at OpenSegment).
+	// lets go (the finalizer set at OpenSegment). OnRetire lets callers
+	// drop derived state keyed by the retired segments before any query
+	// can observe the new segment set without them.
 	for _, seg := range group {
 		_ = os.Remove(seg.path)
+		if st.opts.OnRetire != nil {
+			st.opts.OnRetire(seg)
+		}
 	}
 	return true, nil
 }

@@ -461,27 +461,16 @@ func (r *Registry) Offer(entries []*archive.Entry) error {
 	// Refine: one grid-cell-level match per surviving pair, fanned across
 	// the workers; each task writes only its own slot. Pairs were sorted
 	// by (subscription id, entry index) after the probe, so slot order —
-	// and therefore delivery order — is independent of worker count. An
-	// entry matched by several subscriptions resolves its summary once
-	// (sync.Once per entry slot), not once per pair — for disk-resident
-	// entries that is one segment read instead of one per subscription.
-	type sumSlot struct {
-		once sync.Once
-		sum  *sgs.Summary
-		err  error
-	}
-	slots := make([]sumSlot, len(entries))
-	loadOnce := func(ei int) (*sgs.Summary, error) {
-		sl := &slots[ei]
-		sl.once.Do(func() { sl.sum, sl.err = entries[ei].LoadSummary() })
-		return sl.sum, sl.err
-	}
+	// and therefore delivery order — is independent of worker count.
+	// Disk-resident entries load through the archive's decoded-summary
+	// cache (sumcache), so an entry matched by several subscriptions —
+	// or by overlapping windows — still decodes once per residency.
 	dists := make([]float64, len(pairs))
 	sums := make([]*sgs.Summary, len(pairs))
 	errs := make([]error, len(pairs))
 	par.ForEach(r.workers, len(pairs), func(i int) {
 		p := pairs[i]
-		sum, err := loadOnce(p.ei)
+		sum, err := entries[p.ei].LoadSummary()
 		if err != nil {
 			errs[i] = err
 			return

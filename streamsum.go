@@ -201,6 +201,14 @@ type Options struct {
 	// tier. Requires StorePath; 0 means no byte bound (demotion then
 	// happens only via Archive.Capacity pressure).
 	StoreMaxMemBytes int
+	// SummaryCacheBytes bounds the decoded-summary cache that serves the
+	// refine phase of queries over disk-resident entries: each summary
+	// decodes once per residency, not once per query. Requires StorePath.
+	// The budget is carved out of StoreMaxMemBytes (memory tier + cache
+	// share that bound), so when both are set it must be strictly
+	// smaller. 0 — or SGS_SUMCACHE=off — disables the cache; results are
+	// identical either way, only repeated-query latency changes.
+	SummaryCacheBytes int
 }
 
 // Engine is the end-to-end system of the paper's Figure 4: pattern
@@ -257,6 +265,9 @@ func New(opts Options) (*Engine, error) {
 	if opts.StoreMaxMemBytes > 0 && opts.StorePath == "" {
 		return nil, fmt.Errorf("streamsum: StoreMaxMemBytes requires StorePath")
 	}
+	if opts.SummaryCacheBytes > 0 && opts.StorePath == "" {
+		return nil, fmt.Errorf("streamsum: SummaryCacheBytes requires StorePath (memory-tier summaries are already decoded)")
+	}
 	if opts.Archive != nil {
 		// Theta is passed through as configured: a Level or ByteBudget
 		// that demands compression without a valid compression rate is a
@@ -267,6 +278,7 @@ func New(opts Options) (*Engine, error) {
 		ac.Dim = opts.Dim
 		ac.StorePath = opts.StorePath
 		ac.MaxMemBytes = opts.StoreMaxMemBytes
+		ac.SummaryCacheBytes = opts.SummaryCacheBytes
 		e.base, err = archive.New(ac)
 		if err != nil {
 			return nil, err
@@ -316,8 +328,9 @@ func (e *Engine) Close() error {
 // (Figure 2) into engine Options. dim supplies the tuple dimensionality,
 // which the query language leaves to the schema. Execution-side knobs the
 // language does not cover (Workers, EmitWorkers, MatchWorkers, SubWorkers,
-// Archive, ArchiveNovelty, StorePath, StoreMaxMemBytes) can be set on the
-// returned Options before calling New.
+// Archive, ArchiveNovelty, StorePath, StoreMaxMemBytes,
+// SummaryCacheBytes) can be set on the returned Options before calling
+// New.
 func OptionsFromQuery(q string, dim int) (Options, error) {
 	cq, err := query.ParseCluster(q)
 	if err != nil {

@@ -10,30 +10,50 @@ import (
 	"streamsum/internal/match"
 	"streamsum/internal/segstore"
 	"streamsum/internal/sgs"
+	"streamsum/internal/sumcache"
 )
 
 // tieredStreamEngines feeds the same GMTI stream into a memory-only
-// engine and a store-backed engine whose memory tier is capped tightly
-// enough that most of the archived history lives on disk.
-func tieredStreamEngines(t *testing.T, maxMem int) (memEng, tierEng *Engine) {
+// engine and store-backed engines whose memory tiers are capped tightly
+// enough that most of the archived history lives on disk. The tiered
+// engines differ only in their decoded-summary cache: disabled, normal
+// and pathologically small. The cached engines' StoreMaxMemBytes is
+// raised by the cache budget — the cache's share is carved out of that
+// bound, so this keeps the effective memory-tier cap (and therefore the
+// tier split and segment layout) identical across all three.
+func tieredStreamEngines(t *testing.T, maxMem int) (memEng *Engine, tierEngs []*Engine) {
 	t.Helper()
 	memEng = tieredEngine(t, Options{})
-	tierEng = tieredEngine(t, Options{StorePath: t.TempDir(), StoreMaxMemBytes: maxMem})
+	for _, cache := range tieredCacheCfgs {
+		tierEngs = append(tierEngs, tieredEngine(t, Options{
+			StorePath:         t.TempDir(),
+			StoreMaxMemBytes:  maxMem + cache,
+			SummaryCacheBytes: cache,
+		}))
+	}
 	data := gen.GMTI(gen.GMTIConfig{Seed: 11}, 16000)
 	for lo := 0; lo < len(data.Points); lo += 1000 {
 		hi := lo + 1000
 		if hi > len(data.Points) {
 			hi = len(data.Points)
 		}
-		if _, err := memEng.PushBatch(data.Points[lo:hi], nil); err != nil {
-			t.Fatal(err)
-		}
-		if _, err := tierEng.PushBatch(data.Points[lo:hi], nil); err != nil {
-			t.Fatal(err)
+		for _, eng := range append([]*Engine{memEng}, tierEngs...) {
+			if _, err := eng.PushBatch(data.Points[lo:hi], nil); err != nil {
+				t.Fatal(err)
+			}
 		}
 	}
-	return memEng, tierEng
+	return memEng, tierEngs
 }
+
+const (
+	tieredCacheBudget = 8 << 10
+	tieredCacheTiny   = 4 << 10 // a few entries per shard at most
+)
+
+// tieredCacheCfgs are the SummaryCacheBytes settings of the engines
+// tieredStreamEngines returns, in order.
+var tieredCacheCfgs = []int{0, tieredCacheBudget, tieredCacheTiny}
 
 func tieredEngine(t *testing.T, extra Options) *Engine {
 	t.Helper()
@@ -42,9 +62,10 @@ func tieredEngine(t *testing.T, extra Options) *Engine {
 	// 256 KiB target would merge this test's whole history into one).
 	opts := Options{
 		Dim: 2, ThetaR: 1.0, ThetaC: 4, Win: 4000, Slide: 1000,
-		Archive:          &ArchiveOptions{StoreSegmentBytes: 8 << 10},
-		StorePath:        extra.StorePath,
-		StoreMaxMemBytes: extra.StoreMaxMemBytes,
+		Archive:           &ArchiveOptions{StoreSegmentBytes: 8 << 10},
+		StorePath:         extra.StorePath,
+		StoreMaxMemBytes:  extra.StoreMaxMemBytes,
+		SummaryCacheBytes: extra.SummaryCacheBytes,
 	}
 	eng, err := New(opts)
 	if err != nil {
@@ -74,30 +95,43 @@ func TestTieredMatchIdenticalPread(t *testing.T) {
 
 func runTieredMatchIdentical(t *testing.T) {
 	const maxMem = 32 << 10
-	memEng, tierEng := tieredStreamEngines(t, maxMem)
+	memEng, tierEngs := tieredStreamEngines(t, maxMem)
 	defer func() {
-		if err := tierEng.Close(); err != nil {
-			t.Fatal(err)
+		for _, eng := range tierEngs {
+			if err := eng.Close(); err != nil {
+				t.Fatal(err)
+			}
 		}
 	}()
 
-	memBase, tierBase := memEng.PatternBase(), tierEng.PatternBase()
-	if memBase.Len() == 0 || memBase.Len() != tierBase.Len() {
-		t.Fatalf("base sizes: mem %d, tiered %d", memBase.Len(), tierBase.Len())
+	memBase := memEng.PatternBase()
+	if memBase.Len() == 0 {
+		t.Fatal("empty pattern base")
 	}
-	// Settle the background demoter so the tier split is deterministic.
-	if err := tierBase.DrainDemotions(); err != nil {
-		t.Fatal(err)
-	}
-	ts := tierBase.TierStats()
-	if ts.MemBytes > maxMem {
-		t.Fatalf("memory tier %d bytes exceeds cap %d", ts.MemBytes, maxMem)
-	}
-	if ts.SegBytes <= maxMem {
-		t.Fatalf("archived history (%d disk bytes) did not grow past the cap %d", ts.SegBytes, maxMem)
-	}
-	if ts.Segments < 2 {
-		t.Fatalf("want multiple segments, got %d", ts.Segments)
+	for i, eng := range tierEngs {
+		tierBase := eng.PatternBase()
+		if memBase.Len() != tierBase.Len() {
+			t.Fatalf("base sizes: mem %d, tiered %d", memBase.Len(), tierBase.Len())
+		}
+		// Settle the background demoter so the tier split is deterministic.
+		if err := tierBase.DrainDemotions(); err != nil {
+			t.Fatal(err)
+		}
+		ts := tierBase.TierStats()
+		// The memory tier's effective cap is what the engine was configured
+		// with minus the cache's actual carve-out — under SGS_SUMCACHE=off
+		// the carve-out is zero and the whole bound goes to the tier.
+		memCap := maxMem + tieredCacheCfgs[i] - ts.CacheBudget
+		if ts.MemBytes > memCap {
+			t.Fatalf("memory tier %d bytes exceeds cap %d", ts.MemBytes, memCap)
+		}
+		if ts.MemBytes+ts.SegBytes <= memCap {
+			t.Fatalf("history (%d mem + %d disk bytes) did not grow past the cap %d",
+				ts.MemBytes, ts.SegBytes, memCap)
+		}
+		if ts.Segments < 2 {
+			t.Fatalf("want multiple segments, got %d", ts.Segments)
+		}
 	}
 
 	type result struct {
@@ -134,7 +168,7 @@ func runTieredMatchIdentical(t *testing.T) {
 		}
 		want := runOne(memEng, e.Summary, 1)
 		for _, workers := range []int{1, 2, 8} {
-			for _, eng := range []*Engine{memEng, tierEng} {
+			for _, eng := range append([]*Engine{memEng}, tierEngs...) {
 				got := runOne(eng, e.Summary, workers)
 				if got.cand != want.cand || got.ref != want.ref {
 					t.Fatalf("target %d workers %d: stats %d/%d want %d/%d",
@@ -153,6 +187,30 @@ func runTieredMatchIdentical(t *testing.T) {
 					}
 				}
 			}
+		}
+	}
+
+	// The identical results above came from genuinely different residency
+	// paths: the uncached engine reports no cache, the cached engines
+	// served refine hits while staying inside their byte budgets. Under
+	// SGS_SUMCACHE=off every engine is uncached — the determinism half
+	// above is then the whole point of the run.
+	for i, budget := range tieredCacheCfgs {
+		ts := tierEngs[i].PatternBase().TierStats()
+		if budget == 0 || !sumcache.Enabled() {
+			if ts.CacheBudget != 0 || ts.CacheHits+ts.CacheMisses != 0 {
+				t.Fatalf("uncached engine reports cache activity: %+v", ts)
+			}
+			continue
+		}
+		if ts.CacheBudget != budget {
+			t.Fatalf("engine %d: cache budget %d want %d", i, ts.CacheBudget, budget)
+		}
+		if ts.CacheMisses == 0 || ts.CacheHits == 0 {
+			t.Fatalf("engine %d: cache never exercised: %+v", i, ts)
+		}
+		if int64(ts.CacheBytes) > int64(budget) {
+			t.Fatalf("engine %d: resident cache bytes %d exceed budget %d", i, ts.CacheBytes, budget)
 		}
 	}
 }
