@@ -56,16 +56,19 @@ import (
 	"log"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strconv"
 	"strings"
 	"syscall"
+	"time"
 
 	"streamsum"
 	"streamsum/internal/archive"
 	"streamsum/internal/gen"
 	"streamsum/internal/geom"
+	"streamsum/internal/obs"
 	"streamsum/internal/sgs"
 	"streamsum/internal/stream"
 )
@@ -110,6 +113,8 @@ func main() {
 	storePath := flag.String("store", "", "attach a disk tier to the pattern base under this directory; implies archiving. Evicted summaries demote into on-disk segments (inspect with sgstool inspect), stay matchable, and survive restarts — the memory tier is flushed to the store on clean exit")
 	storeMem := flag.Int("store-mem", 0, "memory-tier byte budget for the pattern base (requires -store); overflow demotes the oldest summaries to disk. 0 = no byte bound")
 	storeCache := flag.Int("store-cache", 0, "decoded-summary cache budget in bytes (requires -store); carved out of -store-mem when both are set, so it must be smaller. Repeat queries over disk-resident summaries then decode once per residency. 0 = off")
+	pprofOn := flag.Bool("pprof", false, "expose net/http/pprof profiling handlers under /debug/pprof/ on the -http server")
+	slowQuery := flag.Duration("slow-query", 0, "log any /match query or standing-query window evaluation whose wall time meets this threshold, with a per-phase breakdown (e.g. 50ms); 0 = off")
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(), `sgsd runs a continuous clustering query (the paper's Figure 2) over a
 stream and emits one JSON line per window with the clusters in both
@@ -203,6 +208,7 @@ Flags:
 	opts.StorePath = *storePath
 	opts.StoreMaxMemBytes = *storeMem
 	opts.SummaryCacheBytes = *storeCache
+	opts.SlowQuery = *slowQuery
 	eng, err := streamsum.New(opts)
 	if err != nil {
 		log.Fatal(err)
@@ -216,9 +222,18 @@ Flags:
 		// The pattern base is snapshot-isolated, so these handlers run
 		// concurrently with the ingest loop below without coordination.
 		mux := http.NewServeMux()
-		mux.HandleFunc("/match", matchHandler(eng))
+		mux.HandleFunc("/match", matchHandler(eng, *slowQuery))
 		mux.HandleFunc("/subscribe", subscribeHandler(eng, shutdownCh))
 		mux.HandleFunc("/stats", statsHandler(eng))
+		registerEngineGauges(eng)
+		mux.HandleFunc("/metrics", metricsHandler())
+		if *pprofOn {
+			mux.HandleFunc("/debug/pprof/", pprof.Index)
+			mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+			mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+			mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+			mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		}
 		ln, err := net.Listen("tcp", *httpAddr)
 		if err != nil {
 			log.Fatal(err)
@@ -403,9 +418,23 @@ Flags:
 }
 
 type matchRespJSON struct {
-	Candidates int         `json:"candidates"`
-	Refined    int         `json:"refined"`
-	Matches    []matchJSON `json:"matches"`
+	Candidates int             `json:"candidates"`
+	Refined    int             `json:"refined"`
+	Phases     matchPhasesJSON `json:"phases"`
+	Matches    []matchJSON     `json:"matches"`
+}
+
+// matchPhasesJSON is the per-query trace: phase wall times plus the
+// pruning detail that explains them (zone-skipped segments never paid a
+// probe; cache hits never paid a disk read).
+type matchPhasesJSON struct {
+	FilterNS        int64 `json:"filter_ns"`
+	RefineNS        int64 `json:"refine_ns"`
+	OrderNS         int64 `json:"order_ns"`
+	SegmentsProbed  int   `json:"segments_probed"`
+	SegmentsSkipped int   `json:"segments_skipped"`
+	CacheHits       int   `json:"cache_hits"`
+	DiskLoads       int   `json:"disk_loads"`
 }
 
 type matchJSON struct {
@@ -437,8 +466,10 @@ func resolveTarget(eng *streamsum.Engine, w http.ResponseWriter, ref string) (*s
 // pattern base. The query's GIVEN reference is resolved as an archive
 // id, so analysts ask "what looks like cluster 17?" while the stream is
 // still running. Like sgstool match, the target's own archived copy is
-// excluded from the results rather than consuming LIMIT slots.
-func matchHandler(eng *streamsum.Engine) http.HandlerFunc {
+// excluded from the results rather than consuming LIMIT slots. Every
+// response carries the query's phase trace; a query at or above the
+// slow threshold (when positive) is additionally logged with it.
+func matchHandler(eng *streamsum.Engine, slow time.Duration) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		qs := r.URL.Query().Get("q")
 		if qs == "" {
@@ -460,15 +491,34 @@ func matchHandler(eng *streamsum.Engine) http.HandlerFunc {
 		if limit > 0 {
 			mo.Limit = limit + 1 // the target itself matches at distance 0
 		}
+		var tr streamsum.MatchTrace
+		mo.Trace = &tr
+		start := time.Now()
 		ms, stats, err := eng.Match(mo)
 		if err != nil {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 			return
 		}
+		if elapsed := time.Since(start); slow > 0 && elapsed >= slow {
+			log.Printf("sgsd: slow /match target=%d took=%s (threshold %s): filter=%s refine=%s order=%s segments probed=%d skipped=%d cache hits=%d disk loads=%d candidates=%d refined=%d",
+				id, elapsed, slow,
+				time.Duration(tr.FilterNS), time.Duration(tr.RefineNS), time.Duration(tr.OrderNS),
+				tr.SegmentsProbed, tr.SegmentsSkipped, tr.CacheHits, tr.DiskLoads,
+				stats.IndexCandidates, stats.Refined)
+		}
 		resp := matchRespJSON{
 			Candidates: stats.IndexCandidates,
 			Refined:    stats.Refined,
-			Matches:    make([]matchJSON, 0, len(ms)),
+			Phases: matchPhasesJSON{
+				FilterNS:        tr.FilterNS,
+				RefineNS:        tr.RefineNS,
+				OrderNS:         tr.OrderNS,
+				SegmentsProbed:  tr.SegmentsProbed,
+				SegmentsSkipped: tr.SegmentsSkipped,
+				CacheHits:       tr.CacheHits,
+				DiskLoads:       tr.DiskLoads,
+			},
+			Matches: make([]matchJSON, 0, len(ms)),
 		}
 		for _, m := range ms {
 			if m.ID == id {
@@ -620,6 +670,76 @@ func subscribeHandler(eng *streamsum.Engine, shutdown <-chan struct{}) http.Hand
 	}
 }
 
+// registerEngineGauges binds this engine's instance state — base sizes,
+// tier occupancy, cache budget, standing-query registry — into the
+// process-wide metrics registry as gauge funcs read at scrape time.
+// Registration replaces any previous binding, so the gauges always
+// describe the engine currently serving (obs.RegisterGaugeFunc's
+// replace semantics exist for exactly this).
+func registerEngineGauges(eng *streamsum.Engine) {
+	base := eng.PatternBase()
+	obs.RegisterGaugeFunc("sgs_base_clusters",
+		"Clusters in the pattern base (memory + disk tiers).",
+		func() float64 { return float64(base.Len()) })
+	obs.RegisterGaugeFunc("sgs_base_bytes",
+		"Encoded summary bytes in the pattern base (memory + disk tiers).",
+		func() float64 { return float64(base.Bytes()) })
+	obs.RegisterGaugeFunc("sgs_store_mem_entries",
+		"Summaries resident in the memory tier.",
+		func() float64 { return float64(base.TierStats().MemEntries) })
+	obs.RegisterGaugeFunc("sgs_store_mem_bytes",
+		"Encoded bytes resident in the memory tier.",
+		func() float64 { return float64(base.TierStats().MemBytes) })
+	obs.RegisterGaugeFunc("sgs_store_demote_queue_batches",
+		"Demotion batches queued or in flight to the disk tier.",
+		func() float64 { return float64(base.TierStats().DemotingBatches) })
+	obs.RegisterGaugeFunc("sgs_store_demote_queue_entries",
+		"Summaries queued or in flight to the disk tier.",
+		func() float64 { return float64(base.TierStats().DemotingEntries) })
+	obs.RegisterGaugeFunc("sgs_store_segments",
+		"Live on-disk segments by format version.",
+		func() float64 { return float64(base.TierStats().SegmentsV1) }, obs.L{Key: "format", Value: "v1"})
+	obs.RegisterGaugeFunc("sgs_store_segments",
+		"Live on-disk segments by format version.",
+		func() float64 { return float64(base.TierStats().SegmentsV2) }, obs.L{Key: "format", Value: "v2"})
+	obs.RegisterGaugeFunc("sgs_store_segments",
+		"Live on-disk segments by format version.",
+		func() float64 { return float64(base.TierStats().SegmentsV3) }, obs.L{Key: "format", Value: "v3"})
+	obs.RegisterGaugeFunc("sgs_store_segments_mapped",
+		"On-disk segments currently served through mmap (the rest use pread).",
+		func() float64 { return float64(base.TierStats().SegmentsMapped) })
+	obs.RegisterGaugeFunc("sgs_store_segment_entries",
+		"Summaries resident in the disk tier.",
+		func() float64 { return float64(base.TierStats().SegEntries) })
+	obs.RegisterGaugeFunc("sgs_store_segment_bytes",
+		"Segment file bytes in the disk tier.",
+		func() float64 { return float64(base.TierStats().SegBytes) })
+	obs.RegisterGaugeFunc("sgs_sumcache_entries",
+		"Decoded summaries resident in the summary cache.",
+		func() float64 { return float64(base.TierStats().CacheEntries) })
+	obs.RegisterGaugeFunc("sgs_sumcache_bytes",
+		"Approximate bytes held by the summary cache.",
+		func() float64 { return float64(base.TierStats().CacheBytes) })
+	obs.RegisterGaugeFunc("sgs_sumcache_budget_bytes",
+		"Summary cache byte budget (0 = cache disabled).",
+		func() float64 { return float64(base.TierStats().CacheBudget) })
+	obs.RegisterGaugeFunc("sgs_sub_subscriptions",
+		"Standing-query subscriptions currently registered.",
+		func() float64 { return float64(eng.SubscriptionStats().Subscriptions) })
+	obs.RegisterGaugeFunc("sgs_sub_queue_depth",
+		"Subscription events enqueued but not yet handed to a consumer channel.",
+		func() float64 { return float64(eng.SubscriptionQueueDepth()) })
+}
+
+// metricsHandler serves the process-wide metrics registry in the
+// Prometheus text exposition format.
+func metricsHandler() http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = obs.Default.WritePrometheus(w)
+	}
+}
+
 // cacheHitRatio is the decoded-summary cache's hit fraction, 0 when the
 // cache is disabled or untouched.
 func cacheHitRatio(hits, misses uint64) float64 {
@@ -639,30 +759,36 @@ func statsHandler(eng *streamsum.Engine) http.HandlerFunc {
 		ss := eng.SubscriptionStats()
 		w.Header().Set("Content-Type", "application/json")
 		_ = json.NewEncoder(w).Encode(map[string]any{
-			"clusters":            base.Len(),
-			"bytes":               base.Bytes(),
-			"mem_clusters":        ts.MemEntries,
-			"mem_bytes":           ts.MemBytes,
-			"demoting_clusters":   ts.DemotingEntries,
-			"demoting_bytes":      ts.DemotingBytes,
-			"segments":            ts.Segments,
-			"segment_clusters":    ts.SegEntries,
-			"segment_bytes":       ts.SegBytes,
-			"segment_dead":        ts.SegDead,
-			"segment_compactions": ts.Compactions,
-			"cache_hits":          ts.CacheHits,
-			"cache_misses":        ts.CacheMisses,
-			"cache_hit_ratio":     cacheHitRatio(ts.CacheHits, ts.CacheMisses),
-			"cache_evicted":       ts.CacheEvicted,
-			"cache_entries":       ts.CacheEntries,
-			"cache_bytes":         ts.CacheBytes,
-			"cache_budget":        ts.CacheBudget,
-			"subscriptions":       ss.Subscriptions,
-			"sub_windows":         ss.Windows,
-			"sub_candidates":      ss.Candidates,
-			"sub_events":          ss.Events,
-			"sub_eval_last_us":    ss.LastEval.Microseconds(),
-			"sub_eval_total_us":   ss.TotalEval.Microseconds(),
+			"clusters":             base.Len(),
+			"bytes":                base.Bytes(),
+			"mem_clusters":         ts.MemEntries,
+			"mem_bytes":            ts.MemBytes,
+			"demoting_clusters":    ts.DemotingEntries,
+			"demoting_bytes":       ts.DemotingBytes,
+			"demote_queue_batches": ts.DemotingBatches,
+			"segments":             ts.Segments,
+			"segments_v1":          ts.SegmentsV1,
+			"segments_v2":          ts.SegmentsV2,
+			"segments_v3":          ts.SegmentsV3,
+			"segments_mapped":      ts.SegmentsMapped,
+			"segment_clusters":     ts.SegEntries,
+			"segment_bytes":        ts.SegBytes,
+			"segment_dead":         ts.SegDead,
+			"segment_compactions":  ts.Compactions,
+			"cache_hits":           ts.CacheHits,
+			"cache_misses":         ts.CacheMisses,
+			"cache_hit_ratio":      cacheHitRatio(ts.CacheHits, ts.CacheMisses),
+			"cache_evicted":        ts.CacheEvicted,
+			"cache_entries":        ts.CacheEntries,
+			"cache_bytes":          ts.CacheBytes,
+			"cache_budget":         ts.CacheBudget,
+			"subscriptions":        ss.Subscriptions,
+			"sub_queue_depth":      eng.SubscriptionQueueDepth(),
+			"sub_windows":          ss.Windows,
+			"sub_candidates":       ss.Candidates,
+			"sub_events":           ss.Events,
+			"sub_eval_last_us":     ss.LastEval.Microseconds(),
+			"sub_eval_total_us":    ss.TotalEval.Microseconds(),
 		})
 	}
 }

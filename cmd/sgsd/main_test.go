@@ -58,7 +58,7 @@ func TestHTTPErrorHygiene(t *testing.T) {
 	eng := testEngine(t)
 	mux := http.NewServeMux()
 	shutdown := make(chan struct{})
-	mux.HandleFunc("/match", matchHandler(eng))
+	mux.HandleFunc("/match", matchHandler(eng, 0))
 	mux.HandleFunc("/subscribe", subscribeHandler(eng, shutdown))
 	mux.HandleFunc("/stats", statsHandler(eng))
 	srv := httptest.NewServer(mux)

@@ -89,8 +89,9 @@ type Entry struct {
 	// report its exact storage footprint (Fig. 8's memory metric).
 	Bytes int
 
-	// load reads a disk-resident summary (nil for memory-tier entries).
-	load func() (*sgs.Summary, error)
+	// load reads a disk-resident summary (nil for memory-tier entries);
+	// the bool reports whether the decoded-summary cache served it.
+	load func() (*sgs.Summary, bool, error)
 }
 
 // LoadSummary returns the entry's summary, reading it from the disk tier
@@ -103,11 +104,21 @@ type Entry struct {
 // callers must never mutate it (the same contract memory-tier summaries
 // already carry).
 func (e *Entry) LoadSummary() (*sgs.Summary, error) {
+	sum, _, err := e.LoadSummaryTracked()
+	return sum, err
+}
+
+// LoadSummaryTracked is LoadSummary plus residency attribution: it
+// additionally reports whether the summary came from the decoded-summary
+// cache (true) rather than a disk decode or the memory tier (false).
+// Per-query tracing uses it to split refine-phase reads into cache hits
+// and disk loads.
+func (e *Entry) LoadSummaryTracked() (*sgs.Summary, bool, error) {
 	if e.Summary != nil {
-		return e.Summary, nil
+		return e.Summary, false, nil
 	}
 	if e.load == nil {
-		return nil, fmt.Errorf("archive: entry %d has no summary source", e.ID)
+		return nil, false, fmt.Errorf("archive: entry %d has no summary source", e.ID)
 	}
 	return e.load()
 }
@@ -800,12 +811,19 @@ type TierStats struct {
 	// overlap Seg* — treat them as monitoring-grade.
 	DemotingEntries int
 	DemotingBytes   int
+	DemotingBatches int // queued demotion batches (demoter queue depth)
 	// Disk tier (all zero for memory-only bases).
 	Segments    int
 	SegEntries  int // live records
 	SegBytes    int // live encoded bytes
 	SegDead     int // tombstoned records awaiting compaction
 	Compactions uint64
+	// Segment set composition: on-disk format versions and how many
+	// segments serve reads from a memory mapping (vs the pread fallback).
+	SegmentsV1     int
+	SegmentsV2     int
+	SegmentsV3     int
+	SegmentsMapped int
 	// Decoded-summary cache (internal/sumcache); all zero when the cache
 	// is disabled. CacheBytes is the resident encoded-size charge and,
 	// with MaxMemBytes set, shares that bound with MemBytes (the memory
@@ -826,6 +844,7 @@ func (b *Base) TierStats() TierStats {
 		ts.DemotingEntries += batch.count
 		ts.DemotingBytes += batch.bytes
 	}
+	ts.DemotingBatches = len(b.demotePending)
 	store, cache := b.store, b.cache
 	b.mu.Unlock()
 	if store != nil {
@@ -835,6 +854,10 @@ func (b *Base) TierStats() TierStats {
 		ts.SegBytes = s.LiveBytes
 		ts.SegDead = s.Records - s.LiveRecords
 		ts.Compactions = s.Compactions
+		ts.SegmentsV1 = s.SegmentsV1
+		ts.SegmentsV2 = s.SegmentsV2
+		ts.SegmentsV3 = s.SegmentsV3
+		ts.SegmentsMapped = s.SegmentsMapped
 	}
 	if cache != nil {
 		cs := cache.Stats()

@@ -1,6 +1,8 @@
 package archive
 
 import (
+	"time"
+
 	"streamsum/internal/segstore"
 	"streamsum/internal/sgs"
 )
@@ -68,9 +70,17 @@ func (b *Base) demoteLoop() {
 		store := b.store
 		b.mu.Unlock()
 
+		start := time.Now()
 		p, err := store.PrepareFlush(batch.flushEntries())
 		if err == nil {
 			err = p.Commit()
+		}
+		metricDemoteSeconds.Observe(time.Since(start))
+		if err == nil {
+			metricDemoteBatches.Inc()
+			metricDemoteEntries.Add(uint64(batch.count))
+		} else {
+			metricDemoteFailures.Inc()
 		}
 
 		b.mu.Lock()

@@ -1,0 +1,17 @@
+package archive
+
+import "streamsum/internal/obs"
+
+// Process-wide demoter metrics (obs.Default). The queue-depth gauge is
+// deliberately absent here: depth is per-base state, exported at scrape
+// time by the daemon via TierStats.DemotingBatches.
+var (
+	metricDemoteBatches = obs.NewCounter("sgs_archive_demote_batches_total",
+		"Demotion batches flushed to the disk tier.")
+	metricDemoteEntries = obs.NewCounter("sgs_archive_demote_entries_total",
+		"Entries demoted from the memory tier to the disk tier.")
+	metricDemoteFailures = obs.NewCounter("sgs_archive_demote_failures_total",
+		"Demotion batches that failed to flush (the base fail-stops).")
+	metricDemoteSeconds = obs.NewHistogram("sgs_archive_demote_flush_seconds",
+		"Wall time to serialize, write, fsync and commit one demotion batch.")
+)

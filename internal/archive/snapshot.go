@@ -127,8 +127,8 @@ func segEntry(cache *sumcache.Cache, seg *segstore.Segment, r segstore.Record) *
 		MBR:      r.MBR,
 		Features: sgs.FeaturesFromVector(r.Feat),
 		Bytes:    int(r.Len),
-		load: func() (*sgs.Summary, error) {
-			return cache.GetOrLoad(seg, r.ID, int(r.Len), func() (*sgs.Summary, error) {
+		load: func() (*sgs.Summary, bool, error) {
+			return cache.GetOrLoadHit(seg, r.ID, int(r.Len), func() (*sgs.Summary, error) {
 				return seg.Load(r)
 			})
 		},
@@ -342,6 +342,40 @@ func (g segShard) GatedSearchFeatures(lo, hi [4]float64, gate func([4]float64) b
 		return visit(segEntry(g.cache, g.seg, r))
 	})
 	return probed
+}
+
+// ZoneIntersectsLocation reports whether the query box can intersect
+// the segment's zone (the union MBR of its records). A false answer is
+// exactly the condition under which the segment's own gated search
+// skips the whole scan; exposing it separately lets per-query tracing
+// attribute skips without re-running the probe.
+func (g segShard) ZoneIntersectsLocation(q geom.MBR) bool {
+	mbr, _, _ := g.seg.Zone()
+	return mbr.Intersects(q)
+}
+
+// ZoneIntersectsFeatures reports whether the feature range [lo, hi] can
+// intersect the segment's per-feature zone bounds; see
+// ZoneIntersectsLocation for the tracing contract.
+func (g segShard) ZoneIntersectsFeatures(lo, hi [4]float64) bool {
+	_, fmin, fmax := g.seg.Zone()
+	for d := 0; d < 4; d++ {
+		if hi[d] < fmin[d] || lo[d] > fmax[d] {
+			return false
+		}
+	}
+	return true
+}
+
+// ZoneSearcher is implemented by disk-segment filter shards: a cheap,
+// probe-free answer to "could this query touch the shard at all?",
+// mirroring the zone test the shard's own gated searches apply. The
+// matcher type-asserts for it to count segments probed vs skipped per
+// query; shards without zones (the memory tier) simply don't implement
+// it.
+type ZoneSearcher interface {
+	ZoneIntersectsLocation(q geom.MBR) bool
+	ZoneIntersectsFeatures(lo, hi [4]float64) bool
 }
 
 // FilterShards splits the snapshot into independently searchable filter

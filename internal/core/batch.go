@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"time"
 
 	"streamsum/internal/geom"
 	"streamsum/internal/grid"
@@ -83,6 +84,8 @@ type BatchDriver struct {
 // error. A nil tss under time-based windows reads as all-zero timestamps,
 // like Push(p, 0).
 func DriveBatch(d BatchDriver, pts []geom.Point, tss []int64) ([]*WindowResult, error) {
+	MetricBatches.Inc()
+	MetricTuples.Add(uint64(len(pts)))
 	var out []*WindowResult
 	seg := make([]BatchEntry, 0, len(pts))
 	flush := func() {
@@ -172,12 +175,17 @@ func (e *Extractor) insertSegment(seg []BatchEntry) {
 	n := len(seg)
 	workers := par.DefaultWorkers(e.cfg.Workers)
 	if n < 2 || workers == 1 {
+		// The sequential fallback has no discovery/apply split; its whole
+		// insert loop is shared-state work, recorded under apply.
+		start := time.Now()
 		for _, t := range seg {
 			e.insert(t.ID, t.P, t.Pos)
 		}
+		MetricApplySeconds.Observe(time.Since(start))
 		return
 	}
 	e.segSeq++
+	discoveryStart := time.Now()
 
 	// Phase 0: materialize the segment's objects (phase 1 reads them
 	// cross-tuple for intra-segment careers) and group the segment by
@@ -254,6 +262,8 @@ func (e *Extractor) insertSegment(seg []BatchEntry) {
 		}
 		o.coreLast = o.tracker.CoreLast(o.last)
 	})
+	MetricDiscoverySeconds.Observe(time.Since(discoveryStart))
+	applyStart := time.Now()
 
 	// Phase 2 (sequential): cell membership and shared-state career
 	// updates, in arrival order.
@@ -306,4 +316,5 @@ func (e *Extractor) insertSegment(seg []BatchEntry) {
 	for _, q := range grown {
 		e.refresh(q)
 	}
+	MetricApplySeconds.Observe(time.Since(applyStart))
 }

@@ -205,6 +205,7 @@ func (e *Extractor) Push(p geom.Point, ts int64) (int64, []*WindowResult, error)
 		return 0, nil, fmt.Errorf("core: out-of-order position %d after %d", pos, e.lastPos)
 	}
 	e.lastPos = pos
+	MetricTuples.Inc()
 
 	var out []*WindowResult
 	for pos >= e.cfg.Window.End(e.cur) {

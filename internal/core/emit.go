@@ -2,6 +2,7 @@ package core
 
 import (
 	"sort"
+	"time"
 
 	"streamsum/internal/conntab"
 	"streamsum/internal/par"
@@ -44,6 +45,7 @@ import (
 // (trivial, thanks to lifespan analysis) expiration stage and advances the
 // window.
 func (e *Extractor) emit() *WindowResult {
+	start := time.Now()
 	n := e.cur
 	res := &WindowResult{Window: n}
 	workers := par.DefaultWorkers(e.cfg.EmitWorkers)
@@ -174,6 +176,9 @@ func (e *Extractor) emit() *WindowResult {
 	}
 	delete(e.expiry, n)
 	e.cur = n + 1
+	MetricEmitSeconds.Observe(time.Since(start))
+	MetricWindows.Inc()
+	MetricClusters.Add(uint64(len(res.Clusters)))
 	return res
 }
 

@@ -1,0 +1,25 @@
+package core
+
+import "streamsum/internal/obs"
+
+// Process-wide ingest metrics (obs.Default), shared by both extractors:
+// C-SGS records into them here, Extra-N (internal/extran) imports them —
+// the two pipelines have the same phase structure, so their telemetry
+// shares one set of families. Exported because extran needs them; no
+// other package should record into them.
+var (
+	MetricTuples = obs.NewCounter("sgs_ingest_tuples_total",
+		"Tuples admitted, via Push or PushBatch.")
+	MetricBatches = obs.NewCounter("sgs_ingest_batches_total",
+		"Ingest batches driven (PushBatch calls).")
+	MetricWindows = obs.NewCounter("sgs_ingest_windows_total",
+		"Windows emitted.")
+	MetricClusters = obs.NewCounter("sgs_ingest_clusters_total",
+		"Clusters reported across all emitted windows.")
+	MetricDiscoverySeconds = obs.NewHistogram("sgs_ingest_discovery_seconds",
+		"Per-segment discovery phase wall time (parallel range queries + private career construction).")
+	MetricApplySeconds = obs.NewHistogram("sgs_ingest_apply_seconds",
+		"Per-segment apply phase wall time (sequential shared-state wiring + refresh).")
+	MetricEmitSeconds = obs.NewHistogram("sgs_ingest_emit_seconds",
+		"Per-window output-stage wall time (prune, DFS, edge resolve, cluster assembly, expiry).")
+)

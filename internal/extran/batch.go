@@ -1,6 +1,8 @@
 package extran
 
 import (
+	"time"
+
 	"streamsum/internal/core"
 	"streamsum/internal/geom"
 	"streamsum/internal/grid"
@@ -54,12 +56,17 @@ func (e *Extractor) insertSegment(seg []core.BatchEntry) {
 	n := len(seg)
 	workers := par.DefaultWorkers(e.cfg.Workers)
 	if n < 2 || workers == 1 {
+		// Sequential fallback: no phase split, recorded under apply (the
+		// same attribution core's fallback uses).
+		start := time.Now()
 		for _, t := range seg {
 			e.insert(t.ID, t.P, t.Pos)
 		}
+		core.MetricApplySeconds.Observe(time.Since(start))
 		return
 	}
 	e.segSeq++
+	discoveryStart := time.Now()
 
 	// Phase 0: materialize objects and group the segment by occupied cell
 	// in first-touch order.
@@ -137,6 +144,8 @@ func (e *Extractor) insertSegment(seg []core.BatchEntry) {
 		}
 		o.coreLast = o.tracker.CoreLast(o.last)
 	})
+	core.MetricDiscoverySeconds.Observe(time.Since(discoveryStart))
+	applyStart := time.Now()
 
 	// Phase 2 (sequential): registration and shared-state career growth,
 	// in arrival order.
@@ -176,4 +185,5 @@ func (e *Extractor) insertSegment(seg []core.BatchEntry) {
 		}
 		e.unionViews(g.q, from)
 	}
+	core.MetricApplySeconds.Observe(time.Since(applyStart))
 }

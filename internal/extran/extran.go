@@ -3,6 +3,7 @@ package extran
 import (
 	"fmt"
 	"sort"
+	"time"
 
 	"streamsum/internal/conntab"
 	"streamsum/internal/core"
@@ -146,6 +147,7 @@ func (e *Extractor) Push(p geom.Point, ts int64) (int64, []*core.WindowResult, e
 		return 0, nil, errOrder(pos, e.lastPos)
 	}
 	e.lastPos = pos
+	core.MetricTuples.Inc()
 	var out []*core.WindowResult
 	for pos >= e.cfg.Window.End(e.cur) {
 		out = append(out, e.emit())
@@ -265,6 +267,7 @@ func (e *Extractor) view(n int64) *view {
 // work item); member sorting then fans out across clusters. Output is
 // byte-identical at every worker count.
 func (e *Extractor) emit() *core.WindowResult {
+	start := time.Now()
 	n := e.cur
 	res := &core.WindowResult{Window: n}
 	v := e.view(n)
@@ -385,6 +388,9 @@ func (e *Extractor) emit() *core.WindowResult {
 	}
 	delete(e.expiry, n)
 	e.cur = n + 1
+	core.MetricEmitSeconds.Observe(time.Since(start))
+	core.MetricWindows.Inc()
+	core.MetricClusters.Add(uint64(len(res.Clusters)))
 	return res
 }
 

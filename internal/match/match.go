@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"time"
 
 	"streamsum/internal/archive"
 	"streamsum/internal/geom"
@@ -85,6 +86,30 @@ type Query struct {
 	// fully sequential pipeline. Results are byte-identical at every
 	// setting.
 	Workers int
+	// Trace, when non-nil, receives the query's phase breakdown (wall
+	// times, segment probe/skip counts, cache attribution). Tracing
+	// never changes the result; it lives outside Stats so the
+	// deterministic statistics stay exactly comparable across runs.
+	Trace *Trace
+}
+
+// Trace is one query's phase breakdown, filled by Run when
+// Query.Trace is set. Unlike Stats, its fields are timing-dependent
+// and differ run to run.
+type Trace struct {
+	FilterNS int64 // filter phase wall time, ns
+	RefineNS int64 // refine phase wall time, ns
+	OrderNS  int64 // order phase wall time, ns
+	// Disk-shard attribution: shards whose zone admitted the query and
+	// were scanned vs shards the zone filter skipped whole. The memory
+	// tier has no zone and is counted in neither.
+	SegmentsProbed  int
+	SegmentsSkipped int
+	// Refine-phase load attribution: summaries served by the
+	// decoded-summary cache vs decoded from a segment. Memory-tier
+	// candidates appear in neither count.
+	CacheHits int
+	DiskLoads int
 }
 
 // Match is one result of a matching query.
@@ -208,8 +233,30 @@ func Run(src Source, q Query) ([]Match, Stats, error) {
 	gate := func(v [4]float64) bool {
 		return FeatureDistance(targetFeat, v, w) <= q.Threshold
 	}
+	metricQueries.Inc()
+	filterStart := time.Now()
 	shards := filterShards(src)
 	st.FilterShards = len(shards)
+	if q.Trace != nil {
+		// Re-run the zone tests the disk shards' own searches apply, so
+		// the trace can say which segments the query actually scanned.
+		// The checks are probe-free and do not change what filterOne does.
+		for _, sh := range shards {
+			zs, ok := sh.(archive.ZoneSearcher)
+			if !ok {
+				continue
+			}
+			admitted := zs.ZoneIntersectsFeatures(lo, hi)
+			if w.PositionSensitive {
+				admitted = zs.ZoneIntersectsLocation(targetMBR)
+			}
+			if admitted {
+				q.Trace.SegmentsProbed++
+			} else {
+				q.Trace.SegmentsSkipped++
+			}
+		}
+	}
 	perShard := make([][]*archive.Entry, len(shards))
 	probed := make([]int, len(shards))
 	par.ForEach(q.Workers, len(shards), func(i int) {
@@ -222,21 +269,28 @@ func Run(src Source, q Query) ([]Match, Stats, error) {
 	}
 	sort.Slice(refine, func(i, j int) bool { return refine[i].ID < refine[j].ID })
 	st.Refined = len(refine)
+	filterDur := time.Since(filterStart)
+	metricFilterSeconds.Observe(filterDur)
+	metricCandidates.Add(uint64(st.IndexCandidates))
+	metricRefined.Add(uint64(st.Refined))
 
 	// --- Phase 2: refine — parallel grid-cell-level cluster match ---------
 	// Candidates are independent: each worker reads the shared immutable
 	// summaries (loading disk-resident ones lazily) and writes only its
 	// own slots.
+	refineStart := time.Now()
 	dists := make([]float64, len(refine))
 	sums := make([]*sgs.Summary, len(refine))
 	errs := make([]error, len(refine))
+	hits := make([]bool, len(refine))
 	par.ForEach(q.Workers, len(refine), func(i int) {
-		sum, err := refine[i].LoadSummary()
+		sum, hit, err := refine[i].LoadSummaryTracked()
 		if err != nil {
 			errs[i] = err
 			return
 		}
 		sums[i] = sum
+		hits[i] = hit
 		dists[i] = RefineDistance(q.Target, sum, w, budget)
 	})
 	for _, err := range errs {
@@ -244,8 +298,23 @@ func Run(src Source, q Query) ([]Match, Stats, error) {
 			return nil, st, err
 		}
 	}
+	refineDur := time.Since(refineStart)
+	metricRefineSeconds.Observe(refineDur)
+	if q.Trace != nil {
+		for i, e := range refine {
+			if e.Summary != nil {
+				continue // memory tier: no load happened
+			}
+			if hits[i] {
+				q.Trace.CacheHits++
+			} else {
+				q.Trace.DiskLoads++
+			}
+		}
+	}
 
 	// --- Phase 3: order — threshold, sort, top-k --------------------------
+	orderStart := time.Now()
 	var matches []Match
 	for i, e := range refine {
 		if dists[i] <= q.Threshold {
@@ -262,6 +331,13 @@ func Run(src Source, q Query) ([]Match, Stats, error) {
 	})
 	if q.Limit > 0 && len(matches) > q.Limit {
 		matches = matches[:q.Limit]
+	}
+	orderDur := time.Since(orderStart)
+	metricOrderSeconds.Observe(orderDur)
+	if q.Trace != nil {
+		q.Trace.FilterNS = filterDur.Nanoseconds()
+		q.Trace.RefineNS = refineDur.Nanoseconds()
+		q.Trace.OrderNS = orderDur.Nanoseconds()
 	}
 	return matches, st, nil
 }

@@ -1,0 +1,109 @@
+package match
+
+import (
+	"math/rand"
+	"testing"
+
+	"streamsum/internal/archive"
+	"streamsum/internal/sgs"
+	"streamsum/internal/sumcache"
+)
+
+// buildTieredBase archives n clusters into a store-backed base and
+// flushes them all to disk, so queries exercise the disk shards.
+func buildTieredBase(t *testing.T, n int, seed int64) (*archive.Base, []*sgs.Summary) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	b, err := archive.New(archive.Config{
+		Dim:               2,
+		StorePath:         t.TempDir(),
+		SummaryCacheBytes: 1 << 20,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { b.Close() })
+	var sums []*sgs.Summary
+	for i := 0; i < n; i++ {
+		pts := blob(rng, 150+rng.Intn(150), rng.Float64()*100, rng.Float64()*100, 0.5+rng.Float64())
+		s := summarize(t, pts, int64(i))
+		if _, ok, err := b.Put(s); err != nil || !ok {
+			t.Fatal(err)
+		}
+		sums = append(sums, s)
+	}
+	if err := b.FlushMem(); err != nil {
+		t.Fatal(err)
+	}
+	return b, sums
+}
+
+// TestTraceFilled pins the Query.Trace contract: phase times are
+// recorded, disk shards are attributed as probed or skipped, and every
+// disk-resident refine load is attributed to the cache or the disk.
+func TestTraceFilled(t *testing.T) {
+	b, sums := buildTieredBase(t, 20, 11)
+	snap := b.Snapshot()
+
+	var tr Trace
+	matches, st, err := Run(snap, Query{Target: sums[0], Threshold: 0.2, Trace: &tr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(matches) == 0 {
+		t.Fatal("no matches for the target's own archived copy")
+	}
+	if tr.FilterNS <= 0 || tr.RefineNS <= 0 || tr.OrderNS <= 0 {
+		t.Fatalf("phase times not recorded: %+v", tr)
+	}
+	segs := len(snap.FilterShards()) - 1 // minus the memory shard
+	if tr.SegmentsProbed+tr.SegmentsSkipped != segs {
+		t.Fatalf("probed %d + skipped %d != %d disk shards",
+			tr.SegmentsProbed, tr.SegmentsSkipped, segs)
+	}
+	if tr.SegmentsProbed == 0 {
+		t.Fatal("query that found matches probed no segments")
+	}
+	// Every refine candidate is disk-resident here, so each one is
+	// attributed to exactly one load source.
+	if tr.CacheHits+tr.DiskLoads != st.Refined {
+		t.Fatalf("cache hits %d + disk loads %d != refined %d",
+			tr.CacheHits, tr.DiskLoads, st.Refined)
+	}
+
+	// A repeat of the same query against the same snapshot must hit the
+	// decoded-summary cache for everything it loaded before (skipped when
+	// the cache is globally disabled via SGS_SUMCACHE=off).
+	if sumcache.Enabled() {
+		var tr2 Trace
+		if _, _, err := Run(snap, Query{Target: sums[0], Threshold: 0.2, Trace: &tr2}); err != nil {
+			t.Fatal(err)
+		}
+		if tr2.CacheHits != st.Refined || tr2.DiskLoads != 0 {
+			t.Fatalf("repeat query: cache hits %d, disk loads %d, want %d and 0",
+				tr2.CacheHits, tr2.DiskLoads, st.Refined)
+		}
+	}
+}
+
+// TestTraceZoneSkip drives a query whose feature range cannot intersect
+// a far-away segment's zone and checks the skip is attributed.
+func TestTraceZoneSkip(t *testing.T) {
+	b, _ := buildTieredBase(t, 6, 12)
+	// A position-sensitive query overlapping nothing at a remote location:
+	// every segment zone must reject it.
+	rng := rand.New(rand.NewSource(99))
+	far := summarize(t, blob(rng, 200, 5000, 5000, 0.8), 100)
+	w := EqualWeights()
+	w.PositionSensitive = true
+	var tr Trace
+	if _, _, err := Run(b.Snapshot(), Query{Target: far, Threshold: 0.3, Weights: &w, Trace: &tr}); err != nil {
+		t.Fatal(err)
+	}
+	if tr.SegmentsSkipped == 0 {
+		t.Fatalf("remote query skipped no segments: %+v", tr)
+	}
+	if tr.SegmentsProbed != 0 {
+		t.Fatalf("remote query probed %d segments, want 0", tr.SegmentsProbed)
+	}
+}

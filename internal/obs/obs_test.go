@@ -1,0 +1,204 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("c_total", "a counter")
+	g := r.NewGauge("g", "a gauge")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	g.Set(7)
+	g.Add(-3)
+	if got := g.Value(); got != 4 {
+		t.Fatalf("gauge = %d, want 4", got)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.NewHistogram("h_seconds", "a histogram")
+	h.Observe(500 * time.Nanosecond) // below first bound -> bucket 0
+	h.Observe(time.Microsecond)      // == first bound -> bucket 0
+	h.Observe(2 * time.Microsecond)  // bucket 1
+	h.Observe(100 * time.Second)     // +Inf bucket
+	h.Observe(-time.Second)          // clamped to 0 -> bucket 0
+	if got := h.Count(); got != 5 {
+		t.Fatalf("count = %d, want 5", got)
+	}
+	s := h.snapshot()
+	if s.Counts[0] != 3 {
+		t.Fatalf("bucket 0 cumulative = %d, want 3", s.Counts[0])
+	}
+	if s.Counts[1] != 4 {
+		t.Fatalf("bucket 1 cumulative = %d, want 4", s.Counts[1])
+	}
+	if s.Counts[len(s.Counts)-1] != 5 {
+		t.Fatalf("+Inf cumulative = %d, want 5", s.Counts[len(s.Counts)-1])
+	}
+	wantSum := (500*time.Nanosecond + time.Microsecond + 2*time.Microsecond + 100*time.Second).Seconds()
+	if s.Sum != wantSum {
+		t.Fatalf("sum = %v, want %v", s.Sum, wantSum)
+	}
+}
+
+// TestZeroAllocRecording pins the hot-path contract: recording a
+// counter, gauge, or histogram sample never allocates.
+func TestZeroAllocRecording(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("za_total", "")
+	g := r.NewGauge("za_gauge", "")
+	h := r.NewHistogram("za_seconds", "")
+	if n := testing.AllocsPerRun(1000, func() { c.Inc() }); n != 0 {
+		t.Fatalf("Counter.Inc allocates %v per call, want 0", n)
+	}
+	if n := testing.AllocsPerRun(1000, func() { c.Add(3) }); n != 0 {
+		t.Fatalf("Counter.Add allocates %v per call, want 0", n)
+	}
+	if n := testing.AllocsPerRun(1000, func() { g.Set(42) }); n != 0 {
+		t.Fatalf("Gauge.Set allocates %v per call, want 0", n)
+	}
+	if n := testing.AllocsPerRun(1000, func() { h.Observe(3 * time.Millisecond) }); n != 0 {
+		t.Fatalf("Histogram.Observe allocates %v per call, want 0", n)
+	}
+}
+
+func TestDuplicatePanics(t *testing.T) {
+	r := NewRegistry()
+	r.NewCounter("dup_total", "")
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("duplicate series did not panic")
+			}
+		}()
+		r.NewCounter("dup_total", "")
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("mixed-type family did not panic")
+			}
+		}()
+		r.NewGauge("dup_total", "", L{"k", "v"})
+	}()
+}
+
+func TestGaugeFuncReplace(t *testing.T) {
+	r := NewRegistry()
+	r.RegisterGaugeFunc("gf", "", func() float64 { return 1 })
+	r.RegisterGaugeFunc("gf", "", func() float64 { return 2 })
+	samples := r.Gather()
+	if len(samples) != 1 {
+		t.Fatalf("got %d samples, want 1 (replace semantics)", len(samples))
+	}
+	if samples[0].Value != 2 {
+		t.Fatalf("gauge func value = %v, want 2 (latest registration)", samples[0].Value)
+	}
+}
+
+// TestWritePrometheusGolden fixes the exposition format byte-for-byte
+// for a small registry: HELP/TYPE once per family, series sorted by
+// name then label set, histograms as cumulative _bucket/_sum/_count.
+func TestWritePrometheusGolden(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("app_requests_total", "Requests served.", L{"code", "200"})
+	c2 := r.NewCounter("app_requests_total", "Requests served.", L{"code", "500"})
+	g := r.NewGauge("app_queue_depth", "Queued items.")
+	h := r.NewHistogram("app_latency_seconds", "Request latency.")
+	c.Add(3)
+	c2.Inc()
+	g.Set(7)
+	h.Observe(2 * time.Microsecond)
+	h.Observe(10 * time.Second)
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP app_latency_seconds Request latency.
+# TYPE app_latency_seconds histogram
+app_latency_seconds_bucket{le="1e-06"} 0
+app_latency_seconds_bucket{le="4e-06"} 1
+app_latency_seconds_bucket{le="1.6e-05"} 1
+app_latency_seconds_bucket{le="6.4e-05"} 1
+app_latency_seconds_bucket{le="0.000256"} 1
+app_latency_seconds_bucket{le="0.001024"} 1
+app_latency_seconds_bucket{le="0.004096"} 1
+app_latency_seconds_bucket{le="0.016384"} 1
+app_latency_seconds_bucket{le="0.065536"} 1
+app_latency_seconds_bucket{le="0.262144"} 1
+app_latency_seconds_bucket{le="1.048576"} 1
+app_latency_seconds_bucket{le="4.194304"} 1
+app_latency_seconds_bucket{le="16.777216"} 2
+app_latency_seconds_bucket{le="67.108864"} 2
+app_latency_seconds_bucket{le="+Inf"} 2
+app_latency_seconds_sum 10.000002
+app_latency_seconds_count 2
+# HELP app_queue_depth Queued items.
+# TYPE app_queue_depth gauge
+app_queue_depth 7
+# HELP app_requests_total Requests served.
+# TYPE app_requests_total counter
+app_requests_total{code="200"} 3
+app_requests_total{code="500"} 1
+`
+	if got := b.String(); got != want {
+		t.Fatalf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.NewCounter("esc_total", "", L{"path", `a"b\c` + "\n"})
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `esc_total{path="a\"b\\c\n"} 0`
+	if !strings.Contains(b.String(), want) {
+		t.Fatalf("escaped series %q not found in:\n%s", want, b.String())
+	}
+}
+
+func TestConcurrentRecording(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("cc_total", "")
+	h := r.NewHistogram("ch_seconds", "")
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+				h.Observe(time.Duration(j) * time.Microsecond)
+			}
+		}()
+	}
+	// Concurrent scrapes must be safe against in-flight recording.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 50; i++ {
+			var b strings.Builder
+			_ = r.WritePrometheus(&b)
+		}
+	}()
+	wg.Wait()
+	<-done
+	if got := c.Value(); got != 8000 {
+		t.Fatalf("counter = %d, want 8000", got)
+	}
+	if got := h.Count(); got != 8000 {
+		t.Fatalf("histogram count = %d, want 8000", got)
+	}
+}

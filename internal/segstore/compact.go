@@ -145,6 +145,7 @@ func (st *Store) compactOnce() (bool, error) {
 	}
 	st.segs = newSegs
 	st.compactions++
+	metricCompactions.Inc()
 	// Retire the inputs: unlink now, close when the last pinned View
 	// lets go (the finalizer set at OpenSegment). OnRetire lets callers
 	// drop derived state keyed by the retired segments before any query

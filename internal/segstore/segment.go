@@ -227,6 +227,7 @@ func OpenSegment(path string) (*Segment, error) {
 	// mapping and handle are released when the last reference drops, or
 	// at Store.Close.
 	runtime.SetFinalizer(seg, func(s *Segment) { s.release() })
+	seg.countOpen()
 	return seg, nil
 }
 
@@ -439,8 +440,10 @@ func (s *Segment) SearchLocation(q geom.MBR, visit func(Record) bool) {
 // query box outside the segment's zone returns immediately.
 func (s *Segment) GatedSearchLocation(q geom.MBR, gate func([4]float64) bool, visit func(Record) bool) int {
 	if !s.zone.mbr.Intersects(q) {
+		metricZoneSkips.Inc()
 		return 0
 	}
+	metricScans.Inc()
 	if s.version == 3 {
 		return s.scanLocationV3(q, gate, visit)
 	}
@@ -474,9 +477,11 @@ func (s *Segment) SearchFeatures(lo, hi [4]float64, visit func(Record) bool) {
 func (s *Segment) GatedSearchFeatures(lo, hi [4]float64, gate func([4]float64) bool, visit func(Record) bool) int {
 	for d := 0; d < 4; d++ {
 		if hi[d] < s.zone.featMin[d] || lo[d] > s.zone.featMax[d] {
+			metricZoneSkips.Inc()
 			return 0
 		}
 	}
+	metricScans.Inc()
 	if s.version == 3 {
 		return s.scanFeaturesV3(lo, hi, gate, visit)
 	}
@@ -506,12 +511,14 @@ var blobPool = sync.Pool{
 // of concurrent callers.
 func (s *Segment) Load(r Record) (*sgs.Summary, error) {
 	if s.mapped != nil {
+		metricLoadsMmap.Inc()
 		sum, err := sgs.Unmarshal(s.mapped[r.Off : r.Off+int64(r.Len)])
 		if err != nil {
 			return nil, fmt.Errorf("segstore: %s: record %d: %w", s.path, r.ID, err)
 		}
 		return sum, nil
 	}
+	metricLoadsPread.Inc()
 	bp := blobPool.Get().(*[]byte)
 	defer blobPool.Put(bp)
 	if cap(*bp) < int(r.Len) {

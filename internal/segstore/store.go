@@ -59,6 +59,12 @@ type Stats struct {
 	LiveBytes   int
 	Tombstones  int
 	Compactions uint64
+
+	// Per-format and access-mode composition of the live segment set.
+	SegmentsV1     int
+	SegmentsV2     int
+	SegmentsV3     int
+	SegmentsMapped int // segments serving reads from a memory mapping
 }
 
 // Store is a directory of immutable segments tracked by an atomically
@@ -355,6 +361,7 @@ func (p *PendingSegment) Commit() error {
 	if p.maxID > st.maxID {
 		st.maxID = p.maxID
 	}
+	metricFlushes.Inc()
 	st.signalCompactLocked()
 	return nil
 }
@@ -429,6 +436,17 @@ func (st *Store) Stats() Stats {
 	for _, seg := range st.segs {
 		s.Records += len(seg.recs)
 		s.Bytes += seg.payload
+		switch seg.version {
+		case 1:
+			s.SegmentsV1++
+		case 2:
+			s.SegmentsV2++
+		default:
+			s.SegmentsV3++
+		}
+		if seg.Mapped() {
+			s.SegmentsMapped++
+		}
 	}
 	s.LiveRecords, s.LiveBytes = s.Records, s.Bytes
 	st.subtractTombsLocked(&s.LiveRecords, &s.LiveBytes)

@@ -3,7 +3,18 @@ package stream
 import (
 	"streamsum/internal/archive"
 	"streamsum/internal/core"
+	"streamsum/internal/obs"
 	"streamsum/internal/sgs"
+)
+
+// Archiving-sink metrics (obs.Default): the executor-level view of the
+// window → pattern-base hand-off, complementing the per-batch demote and
+// flush metrics the archive and store record internally.
+var (
+	metricArchivedWindows = obs.NewCounter("sgs_archive_sink_windows_total",
+		"Completed windows handed to the archiving sink (empty ones included).")
+	metricArchivedEntries = obs.NewCounter("sgs_archive_sink_entries_total",
+		"Summaries the archiver accepted from sink windows (post selection policy).")
 )
 
 // ArchiveWindows returns an OnWindow callback that archives every
@@ -36,6 +47,7 @@ func ArchiveWindowsEval(base *archive.Base,
 	eval func(shard int, w *core.WindowResult, entries []*archive.Entry) error,
 	next func(shard int, w *core.WindowResult) error) func(int, *core.WindowResult) error {
 	return func(shard int, w *core.WindowResult) error {
+		metricArchivedWindows.Inc()
 		sums := make([]*sgs.Summary, 0, len(w.Clusters))
 		for _, c := range w.Clusters {
 			if c.Summary != nil {
@@ -48,6 +60,13 @@ func ArchiveWindowsEval(base *archive.Base,
 			if err != nil {
 				return err
 			}
+			accepted := uint64(0)
+			for _, ok := range archived {
+				if ok {
+					accepted++
+				}
+			}
+			metricArchivedEntries.Add(accepted)
 			if eval != nil {
 				snap := base.Snapshot()
 				entries = make([]*archive.Entry, 0, len(ids))

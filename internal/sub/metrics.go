@@ -1,0 +1,21 @@
+package sub
+
+import "streamsum/internal/obs"
+
+// Process-wide standing-query metrics (obs.Default). Instance-scoped
+// state — live subscription counts, queue depths — is exported at scrape
+// time by the daemon through gauge funcs over Registry.Stats and
+// Registry.QueueDepth, so a registry replaced mid-process never leaves a
+// stale series behind.
+var (
+	metricWindows = obs.NewCounter("sgs_sub_windows_total",
+		"Windows evaluated against the standing-query registry (Offer calls).")
+	metricEntries = obs.NewCounter("sgs_sub_entries_total",
+		"Newly archived entries offered across all windows.")
+	metricEvents = obs.NewCounter("sgs_sub_events_total",
+		"Events enqueued for delivery (match + evolution).")
+	metricEvalSeconds = obs.NewHistogram("sgs_sub_eval_seconds",
+		"Per-window standing-query evaluation wall time (probe + refine + enqueue).")
+	metricDeliverySeconds = obs.NewHistogram("sgs_sub_delivery_seconds",
+		"Per-event delivery latency: enqueue to hand-off on the subscription channel.")
+)

@@ -2,6 +2,7 @@ package sub
 
 import (
 	"fmt"
+	"log"
 	"sort"
 	"sync"
 	"time"
@@ -102,6 +103,7 @@ type Subscription struct {
 	mu        sync.Mutex
 	cond      *sync.Cond
 	queue     []Event
+	qtimes    []time.Time // per-queued-event enqueue times (delivery latency)
 	closed    bool
 	enqueued  uint64 // events accepted into the queue
 	delivered uint64 // events handed to the channel
@@ -118,14 +120,21 @@ func (s *Subscription) Events() <-chan Event { return s.ch }
 func (s *Subscription) Cancel() { s.reg.Unsubscribe(s.id) }
 
 // enqueue appends events to the delivery queue (all-or-nothing per
-// window: callers pass one window's events in a single call).
+// window: callers pass one window's events in a single call). Enqueue
+// times ride in a parallel slice — never inside Event, whose values are
+// compared byte-for-byte by determinism tests — so the pump can report
+// each event's queue-to-channel delivery latency.
 func (s *Subscription) enqueue(evs []Event) {
 	if len(evs) == 0 {
 		return
 	}
+	now := time.Now()
 	s.mu.Lock()
 	if !s.closed {
 		s.queue = append(s.queue, evs...)
+		for range evs {
+			s.qtimes = append(s.qtimes, now)
+		}
 		s.enqueued += uint64(len(evs))
 		s.cond.Broadcast()
 	}
@@ -171,12 +180,13 @@ func (s *Subscription) pump() {
 			s.mu.Unlock()
 			return
 		}
-		batch := s.queue
-		s.queue = nil
+		batch, times := s.queue, s.qtimes
+		s.queue, s.qtimes = nil, nil
 		s.mu.Unlock()
-		for _, ev := range batch {
+		for i, ev := range batch {
 			select {
 			case s.ch <- ev:
+				metricDeliverySeconds.Observe(time.Since(times[i]))
 				s.mu.Lock()
 				s.delivered++
 				s.cond.Broadcast()
@@ -231,6 +241,7 @@ type Stats struct {
 type Registry struct {
 	dim     int
 	workers int
+	slow    time.Duration
 
 	offerMu sync.Mutex // serializes Offer/OfferTrack; windows evaluate in call order
 	seq     uint64     // windows evaluated so far (last seq = seq-1)
@@ -254,6 +265,10 @@ type Config struct {
 	// <= 0 means one worker per available CPU, 1 forces sequential
 	// evaluation. Events are byte-identical at every setting.
 	Workers int
+	// SlowThreshold, when positive, logs any window evaluation (Offer)
+	// whose wall time meets it, with a probe/refine/deliver phase
+	// breakdown. Zero disables slow-window logging.
+	SlowThreshold time.Duration
 }
 
 // NewRegistry returns an empty registry.
@@ -264,6 +279,7 @@ func NewRegistry(cfg Config) (*Registry, error) {
 	return &Registry{
 		dim:     cfg.Dim,
 		workers: cfg.Workers,
+		slow:    cfg.SlowThreshold,
 		subs:    make(map[int64]*Subscription),
 		classes: make(map[match.Weights]*class),
 	}, nil
@@ -457,6 +473,7 @@ func (r *Registry) Offer(entries []*archive.Entry) error {
 		}
 		r.mu.RUnlock()
 	}
+	probeDur := time.Since(start)
 
 	// Refine: one grid-cell-level match per surviving pair, fanned across
 	// the workers; each task writes only its own slot. Pairs were sorted
@@ -483,6 +500,7 @@ func (r *Registry) Offer(entries []*archive.Entry) error {
 			return err
 		}
 	}
+	refineDur := time.Since(start) - probeDur
 
 	// Ordered delivery: pairs are grouped by subscription (the sort key's
 	// major component), so one enqueue hands each subscription its whole
@@ -522,7 +540,35 @@ func (r *Registry) Offer(entries []*archive.Entry) error {
 	r.stats.LastEval = elapsed
 	r.stats.TotalEval += elapsed
 	r.statsMu.Unlock()
+	metricWindows.Inc()
+	metricEntries.Add(uint64(len(entries)))
+	metricEvents.Add(delivered)
+	metricEvalSeconds.Observe(elapsed)
+	if r.slow > 0 && elapsed >= r.slow {
+		log.Printf("sub: slow window eval seq=%d took=%s (threshold %s): probe=%s refine=%s deliver=%s entries=%d candidates=%d events=%d",
+			seq, elapsed, r.slow, probeDur, refineDur, elapsed-probeDur-refineDur,
+			len(entries), len(pairs), delivered)
+	}
 	return nil
+}
+
+// QueueDepth returns the number of events enqueued but not yet handed to
+// a subscription channel, summed across all subscriptions — the standing
+// backlog a monitoring gauge wants.
+func (r *Registry) QueueDepth() int {
+	r.mu.RLock()
+	subs := make([]*Subscription, 0, len(r.subs))
+	for _, s := range r.subs {
+		subs = append(subs, s)
+	}
+	r.mu.RUnlock()
+	depth := 0
+	for _, s := range subs {
+		s.mu.Lock()
+		depth += len(s.queue)
+		s.mu.Unlock()
+	}
+	return depth
 }
 
 // budgetOf returns the pair's alignment budget (on the subscription).
@@ -630,6 +676,7 @@ func (r *Registry) OfferTrack(events []track.Event) {
 	r.statsMu.Lock()
 	r.stats.Events += delivered
 	r.statsMu.Unlock()
+	metricEvents.Add(delivered)
 }
 
 // Close cancels every subscription (closing their channels). The

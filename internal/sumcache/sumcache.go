@@ -37,7 +37,19 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"streamsum/internal/obs"
 	"streamsum/internal/sgs"
+)
+
+// Process-wide residency counters (obs.Default), aggregated across all
+// cache instances; per-instance counts stay in Stats.
+var (
+	metricHits = obs.NewCounter("sgs_sumcache_hits_total",
+		"Decoded-summary cache loads served from residency.")
+	metricMisses = obs.NewCounter("sgs_sumcache_misses_total",
+		"Decoded-summary cache loads that paid a decode.")
+	metricEvictions = obs.NewCounter("sgs_sumcache_evictions_total",
+		"Decoded-summary cache entries evicted under byte pressure.")
 )
 
 // enabled gates cache construction, mirroring segstore's SGS_MMAP
@@ -148,8 +160,19 @@ func (c *Cache) shardFor(id int64) *shard {
 // encoded size, charged against the budget while resident. Errors are
 // returned but never cached — the next call retries the load.
 func (c *Cache) GetOrLoad(owner any, id int64, cost int, load func() (*sgs.Summary, error)) (*sgs.Summary, error) {
+	sum, _, err := c.GetOrLoadHit(owner, id, cost, load)
+	return sum, err
+}
+
+// GetOrLoadHit is GetOrLoad plus a hit report: it additionally returns
+// whether the summary was served from residency (including singleflight
+// joins) rather than by paying a decode. Per-query tracing uses it to
+// attribute cache hits to individual refine phases; a nil (disabled)
+// cache always reports a miss.
+func (c *Cache) GetOrLoadHit(owner any, id int64, cost int, load func() (*sgs.Summary, error)) (*sgs.Summary, bool, error) {
 	if c == nil {
-		return load()
+		sum, err := load()
+		return sum, false, err
 	}
 	sh := c.shardFor(id)
 	k := key{owner: owner, id: id}
@@ -161,15 +184,17 @@ func (c *Cache) GetOrLoad(owner any, id int64, cost int, load func() (*sgs.Summa
 			sh.mu.Unlock()
 			<-done
 			if e.err != nil {
-				return nil, e.err
+				return nil, false, e.err
 			}
 			c.hits.Add(1)
-			return e.sum, nil
+			metricHits.Inc()
+			return e.sum, true, nil
 		}
 		sh.moveFrontLocked(e)
 		sh.mu.Unlock()
 		c.hits.Add(1)
-		return e.sum, nil
+		metricHits.Inc()
+		return e.sum, true, nil
 	}
 	e := &entry{key: k, cost: int64(cost), done: make(chan struct{})}
 	sh.entries[k] = e
@@ -203,10 +228,11 @@ func (c *Cache) GetOrLoad(owner any, id int64, cost int, load func() (*sgs.Summa
 	}
 	sh.mu.Unlock()
 	if err != nil {
-		return nil, err
+		return nil, false, err
 	}
 	c.misses.Add(1)
-	return sum, nil
+	metricMisses.Inc()
+	return sum, false, nil
 }
 
 // InvalidateOwner drops every resident and in-flight entry decoded from
@@ -294,6 +320,7 @@ func (c *Cache) evictOldestLocked(sh *shard) {
 	}
 	sh.removeLocked(sh.tail)
 	c.evicted.Add(1)
+	metricEvictions.Inc()
 }
 
 // removeLocked unlinks e from the shard entirely. Placeholders (in-flight

@@ -90,6 +90,7 @@ package streamsum
 import (
 	"errors"
 	"fmt"
+	"time"
 
 	"streamsum/internal/archive"
 	"streamsum/internal/core"
@@ -130,6 +131,9 @@ type (
 	Match = match.Match
 	// MatchStats reports filter-and-refine effectiveness.
 	MatchStats = match.Stats
+	// MatchTrace carries a query's per-phase timings and pruning detail
+	// (opt in via MatchOptions.Trace).
+	MatchTrace = match.Trace
 	// Weights configures the cluster distance metric.
 	Weights = match.Weights
 )
@@ -201,6 +205,13 @@ type Options struct {
 	// tier. Requires StorePath; 0 means no byte bound (demotion then
 	// happens only via Archive.Capacity pressure).
 	StoreMaxMemBytes int
+	// SlowQuery, when positive, logs any standing-query window
+	// evaluation whose wall time meets it, with a per-phase breakdown
+	// (probe/refine/deliver). One-shot match queries are the caller's to
+	// time — MatchOptions.Trace carries their phase breakdown — so this
+	// threshold only governs the engine-driven per-window evaluation.
+	// Zero disables slow-window logging.
+	SlowQuery time.Duration
 	// SummaryCacheBytes bounds the decoded-summary cache that serves the
 	// refine phase of queries over disk-resident entries: each summary
 	// decodes once per residency, not once per query. Requires StorePath.
@@ -283,7 +294,10 @@ func New(opts Options) (*Engine, error) {
 		if err != nil {
 			return nil, err
 		}
-		e.subs, err = sub.NewRegistry(sub.Config{Dim: opts.Dim, Workers: opts.SubWorkers})
+		e.subs, err = sub.NewRegistry(sub.Config{
+			Dim: opts.Dim, Workers: opts.SubWorkers,
+			SlowThreshold: opts.SlowQuery,
+		})
 		if err != nil {
 			return nil, err
 		}
@@ -568,6 +582,11 @@ type MatchOptions struct {
 	// Workers overrides the engine's Options.MatchWorkers for this query
 	// when non-zero. Results are byte-identical at every setting.
 	Workers int
+	// Trace, when non-nil, is filled with the query's per-phase wall
+	// times and pruning detail (segments probed vs zone-skipped, summary
+	// cache hits vs disk loads). Tracing never changes the results; it
+	// only adds a few clock reads and zone re-checks.
+	Trace *MatchTrace
 }
 
 // Match runs a cluster matching query against the engine's pattern base.
@@ -588,6 +607,7 @@ func (e *Engine) Match(opts MatchOptions) ([]Match, MatchStats, error) {
 		Weights:   opts.Weights,
 		Limit:     opts.Limit,
 		Workers:   workers,
+		Trace:     opts.Trace,
 	})
 }
 

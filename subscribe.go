@@ -97,6 +97,17 @@ func (e *Engine) SubscriptionStats() SubStats {
 	return e.subs.Stats()
 }
 
+// SubscriptionQueueDepth returns the number of subscription events
+// enqueued but not yet handed to a consumer channel, summed across all
+// subscriptions — the standing delivery backlog (0 without a pattern
+// base).
+func (e *Engine) SubscriptionQueueDepth() int {
+	if e.subs == nil {
+		return 0
+	}
+	return e.subs.QueueDepth()
+}
+
 // SubscribeOptionsFromQuery parses a standing matching query in the
 // paper's query language — Figure 3 with FROM Stream — into
 // SubscribeOptions plus the query's cluster reference (the GIVEN
