@@ -1,0 +1,92 @@
+// Tracing-overhead benchmarks: the workers1 cases of BenchmarkPushBatch
+// and BenchmarkMatchRun re-run with span recording active, so the cost
+// of tracing a batch/query is a directly comparable ns/op delta (see
+// BENCH.md's "Tracing overhead" note). Two knobs are measured:
+//
+//	.../recorder — the flight recorder enabled (the sgsd default):
+//	               spans record into pooled fixed-size buffers and the
+//	               completed trace commits to the per-category ring.
+//	                With the recorder disabled (every other benchmark in
+//	               this repo), ingest tracing short-circuits to nil and
+//	               costs nothing — asserted by TestZeroAllocRecording's
+//	               AllocsPerRun checks in internal/trace.
+//
+// The match benchmark threads its trace explicitly (Query.Trace), which
+// also exercises the per-shard child spans of the filter fan-out.
+package streamsum
+
+import (
+	"testing"
+
+	"streamsum/internal/core"
+	"streamsum/internal/match"
+	"streamsum/internal/trace"
+)
+
+// withBenchRecorder enables the process flight recorder for one
+// benchmark and restores it after (other benchmarks in the package
+// must keep measuring the untraced path).
+func withBenchRecorder(b *testing.B) {
+	b.Helper()
+	old := trace.Default.Capacity()
+	trace.Default.SetCapacity(32)
+	b.Cleanup(func() { trace.Default.SetCapacity(old) })
+}
+
+// BenchmarkPushBatchTraced mirrors BenchmarkPushBatch/workers1 with the
+// flight recorder on: each iteration records one ingest trace
+// (discovery/apply spans per segment, an emit span per window).
+func BenchmarkPushBatchTraced(b *testing.B) {
+	withBenchRecorder(b)
+	data := benchSTT(ingestWin + 60*ingestSlide)
+	pointAt := func(id int64) Point { return data.Points[id%int64(len(data.Points))] }
+	ex, err := core.New(ingestConfig(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	batch := make([]Point, ingestSlide)
+	var pushed int64
+	fill := func() {
+		for j := range batch {
+			batch[j] = pointAt(pushed)
+			pushed++
+		}
+	}
+	for pushed < ingestWin {
+		fill()
+		if _, err := ex.PushBatch(batch, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		fill()
+		if _, err := ex.PushBatch(batch, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)*ingestSlide/b.Elapsed().Seconds(), "tuples/sec")
+}
+
+// BenchmarkMatchRunTraced mirrors BenchmarkMatchRun/workers1 with a
+// recorded span trace per query: filter/refine/order phase spans plus
+// one child span per probed shard.
+func BenchmarkMatchRunTraced(b *testing.B) {
+	withBenchRecorder(b)
+	sums := matchFixture(b, matchBaseSize)
+	base := matchBaseOf(b, sums)
+	snap := base.Snapshot()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr := trace.Default.Start(trace.Match, "query")
+		q := match.Query{
+			Target: sums[i%len(sums)], Threshold: matchThreshold,
+			Limit: 5, Workers: 1, Trace: tr,
+		}
+		if _, _, err := match.Run(snap, q); err != nil {
+			b.Fatal(err)
+		}
+		tr.Finish()
+	}
+}

@@ -53,12 +53,14 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net"
 	"net/http"
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"runtime"
+	"runtime/debug"
 	"strconv"
 	"strings"
 	"syscall"
@@ -71,6 +73,7 @@ import (
 	"streamsum/internal/obs"
 	"streamsum/internal/sgs"
 	"streamsum/internal/stream"
+	"streamsum/internal/trace"
 )
 
 type cellJSON struct {
@@ -115,6 +118,8 @@ func main() {
 	storeCache := flag.Int("store-cache", 0, "decoded-summary cache budget in bytes (requires -store); carved out of -store-mem when both are set, so it must be smaller. Repeat queries over disk-resident summaries then decode once per residency. 0 = off")
 	pprofOn := flag.Bool("pprof", false, "expose net/http/pprof profiling handlers under /debug/pprof/ on the -http server")
 	slowQuery := flag.Duration("slow-query", 0, "log any /match query or standing-query window evaluation whose wall time meets this threshold, with a per-phase breakdown (e.g. 50ms); 0 = off")
+	logFormat := flag.String("log-format", "text", "structured log format: text or json (logs go to stderr)")
+	traceCap := flag.Int("trace", 32, "flight-recorder capacity: completed traces retained per pipeline category, browsable at /debug/traces on the -http server; 0 disables recording (span tracing on the hot paths then costs nothing)")
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(), `sgsd runs a continuous clustering query (the paper's Figure 2) over a
 stream and emits one JSON line per window with the clusters in both
@@ -156,8 +161,20 @@ Flags:
 	}
 	flag.Parse()
 
+	baseLogger, err := newLogger(*logFormat)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sgsd: %v\n", err)
+		os.Exit(2)
+	}
+	logger := baseLogger.With("component", "sgsd")
+	fatal := func(msg string, args ...any) {
+		logger.Error(msg, args...)
+		os.Exit(1)
+	}
+	trace.Default.SetCapacity(*traceCap)
+
 	if *queryStr == "" {
-		log.Fatal("sgsd: -query is required")
+		fatal("-query is required")
 	}
 
 	var src stream.Source
@@ -173,30 +190,30 @@ Flags:
 		dim = 2
 	case "csv":
 		if *csvPath == "" {
-			log.Fatal("sgsd: csv source requires -csv")
+			fatal("csv source requires -csv")
 		}
 		var colIdx []int
 		for _, c := range strings.Split(*cols, ",") {
 			v, err := strconv.Atoi(strings.TrimSpace(c))
 			if err != nil {
-				log.Fatalf("sgsd: bad -cols: %v", err)
+				fatal("bad -cols", "err", err)
 			}
 			colIdx = append(colIdx, v)
 		}
 		f, err := os.Open(*csvPath)
 		if err != nil {
-			log.Fatal(err)
+			fatal("opening csv source", "err", err)
 		}
 		defer f.Close()
 		src = stream.FromCSV(f, colIdx, *tsCol)
 		dim = len(colIdx)
 	default:
-		log.Fatalf("sgsd: unknown source %q", *source)
+		fatal("unknown source", "source", *source)
 	}
 
 	opts, err := streamsum.OptionsFromQuery(*queryStr, dim)
 	if err != nil {
-		log.Fatal(err)
+		fatal("parsing -query", "err", err)
 	}
 	if *archivePath != "" || *httpAddr != "" || *storePath != "" {
 		opts.Archive = &streamsum.ArchiveOptions{}
@@ -209,9 +226,10 @@ Flags:
 	opts.StoreMaxMemBytes = *storeMem
 	opts.SummaryCacheBytes = *storeCache
 	opts.SlowQuery = *slowQuery
+	opts.Logger = baseLogger
 	eng, err := streamsum.New(opts)
 	if err != nil {
-		log.Fatal(err)
+		fatal("starting engine", "err", err)
 	}
 
 	var srv *http.Server
@@ -222,11 +240,13 @@ Flags:
 		// The pattern base is snapshot-isolated, so these handlers run
 		// concurrently with the ingest loop below without coordination.
 		mux := http.NewServeMux()
-		mux.HandleFunc("/match", matchHandler(eng, *slowQuery))
+		mux.HandleFunc("/match", matchHandler(eng, *slowQuery, logger))
 		mux.HandleFunc("/subscribe", subscribeHandler(eng, shutdownCh))
 		mux.HandleFunc("/stats", statsHandler(eng))
 		registerEngineGauges(eng)
+		registerBuildGauges()
 		mux.HandleFunc("/metrics", metricsHandler())
+		mux.HandleFunc("/debug/traces", tracesHandler())
 		if *pprofOn {
 			mux.HandleFunc("/debug/pprof/", pprof.Index)
 			mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -236,27 +256,27 @@ Flags:
 		}
 		ln, err := net.Listen("tcp", *httpAddr)
 		if err != nil {
-			log.Fatal(err)
+			fatal("binding -http listener", "addr", *httpAddr, "err", err)
 		}
 		srv = &http.Server{Handler: mux}
 		go func() {
 			if err := srv.Serve(ln); err != nil && err != http.ErrServerClosed {
-				log.Fatal(err)
+				fatal("http server failed", "err", err)
 			}
 		}()
-		fmt.Fprintf(os.Stderr, "sgsd: serving matching queries on %s\n", ln.Addr())
+		logger.Info("serving matching queries", "addr", ln.Addr().String())
 	}
 
 	var appender *archive.Appender
 	if *logPath != "" {
 		lf, err := os.Create(*logPath)
 		if err != nil {
-			log.Fatal(err)
+			fatal("creating summary log", "path", *logPath, "err", err)
 		}
 		defer lf.Close()
 		appender, err = archive.NewAppender(lf)
 		if err != nil {
-			log.Fatal(err)
+			fatal("starting summary log", "path", *logPath, "err", err)
 		}
 	}
 
@@ -271,11 +291,11 @@ Flags:
 					continue
 				}
 				if err := appender.Append(c.Summary); err != nil {
-					log.Fatal(err)
+					fatal("appending to summary log", "err", err)
 				}
 			}
 			if err := appender.Flush(); err != nil { // crash-consistency point
-				log.Fatal(err)
+				fatal("flushing summary log", "err", err)
 			}
 		}
 		wj := windowJSON{Window: w.Window, Clusters: make([]clusterJSON, 0, len(w.Clusters))}
@@ -298,7 +318,7 @@ Flags:
 			wj.Clusters = append(wj.Clusters, cj)
 		}
 		if err := enc.Encode(wj); err != nil {
-			log.Fatal(err)
+			fatal("writing window output", "err", err)
 		}
 	}
 
@@ -320,7 +340,7 @@ Flags:
 				emit(w)
 			}
 			if err != nil {
-				log.Fatal(err)
+				fatal("batched ingest failed", "err", err)
 			}
 			tuples += len(pts)
 			pts, tss = pts[:0], tss[:0]
@@ -345,7 +365,7 @@ Flags:
 			}
 			results, err := eng.Push(geom.Point(t.P), t.TS)
 			if err != nil {
-				log.Fatal(err)
+				fatal("ingest failed", "err", err)
 			}
 			tuples++
 			for _, w := range results {
@@ -354,11 +374,11 @@ Flags:
 		}
 	}
 	if cs, ok := src.(*stream.CSVSource); ok && cs.Err() != nil {
-		log.Fatal(cs.Err())
+		fatal("reading csv source", "err", cs.Err())
 	}
 	w, err := eng.Flush()
 	if err != nil {
-		log.Fatal(err)
+		fatal("flushing final window", "err", err)
 	}
 	emit(w)
 
@@ -371,50 +391,68 @@ Flags:
 	// that fires would re-create exactly that race); a second interrupt
 	// force-exits without the final store flush.
 	if srv != nil {
-		fmt.Fprintf(os.Stderr, "sgsd: stream complete (%d tuples); still serving matching queries (interrupt to exit)\n", tuples)
+		logger.Info("stream complete; still serving matching queries (interrupt to exit)", "tuples", tuples)
 		sig := make(chan os.Signal, 2)
 		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 		<-sig
 		go func() {
 			<-sig
-			fmt.Fprintln(os.Stderr, "sgsd: second interrupt; exiting without draining or flushing the store")
+			logger.Warn("second interrupt; exiting without draining or flushing the store")
 			os.Exit(1)
 		}()
 		// End the standing-query streams first: their connections never go
 		// idle on their own, and Shutdown's drain waits for idle.
 		close(shutdownCh)
 		if err := srv.Shutdown(context.Background()); err != nil {
-			fmt.Fprintf(os.Stderr, "sgsd: http drain: %v\n", err)
+			logger.Warn("http drain failed", "err", err)
 		}
 	}
 
 	if *archivePath != "" {
 		f, err := os.Create(*archivePath)
 		if err != nil {
-			log.Fatal(err)
+			fatal("creating archive file", "path", *archivePath, "err", err)
 		}
 		if err := eng.PatternBase().Save(f); err != nil {
-			log.Fatal(err)
+			fatal("saving pattern base", "err", err)
 		}
 		if err := f.Close(); err != nil {
-			log.Fatal(err)
+			fatal("closing archive file", "err", err)
 		}
-		fmt.Fprintf(os.Stderr, "sgsd: %d tuples processed, %d clusters archived to %s (%.1f KB)\n",
-			tuples, eng.PatternBase().Len(), *archivePath,
-			float64(eng.PatternBase().Bytes())/1024)
+		logger.Info("pattern base archived",
+			"tuples", tuples, "clusters", eng.PatternBase().Len(),
+			"path", *archivePath, "bytes", eng.PatternBase().Bytes())
 	}
 
 	// With -store this demotes the memory tier as one final segment and
 	// stops the compactor; the store directory is then a complete record
 	// of the archived history.
 	if err := eng.Close(); err != nil {
-		log.Fatal(err)
+		fatal("closing engine", "err", err)
 	}
 	if *storePath != "" {
 		ts := eng.PatternBase().TierStats()
-		fmt.Fprintf(os.Stderr, "sgsd: store %s holds %d summaries in %d segments (%.1f KB)\n",
-			*storePath, ts.SegEntries, ts.Segments, float64(ts.SegBytes)/1024)
+		logger.Info("store flushed",
+			"path", *storePath, "clusters", ts.SegEntries,
+			"segments", ts.Segments, "bytes", ts.SegBytes)
 	}
+}
+
+// newLogger builds the daemon's structured logger: text or JSON handler
+// on stderr (stdout carries the window output stream, so logs must not
+// share it). Callers tag it per component — the engine's subsystems add
+// component=archive / component=sub themselves.
+func newLogger(format string) (*slog.Logger, error) {
+	var h slog.Handler
+	switch format {
+	case "text":
+		h = slog.NewTextHandler(os.Stderr, nil)
+	case "json":
+		h = slog.NewJSONHandler(os.Stderr, nil)
+	default:
+		return nil, fmt.Errorf("bad -log-format %q: want text or json", format)
+	}
+	return slog.New(h), nil
 }
 
 type matchRespJSON struct {
@@ -424,17 +462,42 @@ type matchRespJSON struct {
 	Matches    []matchJSON     `json:"matches"`
 }
 
-// matchPhasesJSON is the per-query trace: phase wall times plus the
-// pruning detail that explains them (zone-skipped segments never paid a
-// probe; cache hits never paid a disk read).
+// matchPhasesJSON is the per-query trace summary: phase wall times plus
+// the pruning detail that explains them (zone-skipped segments never
+// paid a probe; cache hits never paid a disk read). It is derived from
+// the query's span tree; Trace is the trace id, retrievable at
+// /debug/traces?trace=ID while the flight recorder still holds it.
 type matchPhasesJSON struct {
-	FilterNS        int64 `json:"filter_ns"`
-	RefineNS        int64 `json:"refine_ns"`
-	OrderNS         int64 `json:"order_ns"`
-	SegmentsProbed  int   `json:"segments_probed"`
-	SegmentsSkipped int   `json:"segments_skipped"`
-	CacheHits       int   `json:"cache_hits"`
-	DiskLoads       int   `json:"disk_loads"`
+	Trace           string `json:"trace"`
+	FilterNS        int64  `json:"filter_ns"`
+	RefineNS        int64  `json:"refine_ns"`
+	OrderNS         int64  `json:"order_ns"`
+	SegmentsProbed  int    `json:"segments_probed"`
+	SegmentsSkipped int    `json:"segments_skipped"`
+	CacheHits       int    `json:"cache_hits"`
+	DiskLoads       int    `json:"disk_loads"`
+}
+
+// phasesFromTrace flattens a /match span tree into the response's phase
+// summary. Missing spans (a query that errored mid-flight) leave zeros.
+func phasesFromTrace(td trace.TraceData) matchPhasesJSON {
+	p := matchPhasesJSON{Trace: td.TraceID}
+	if sd := td.Span("filter"); sd != nil {
+		p.FilterNS = sd.DurNS
+		probed, _ := sd.Int("segments_probed")
+		skipped, _ := sd.Int("segments_skipped")
+		p.SegmentsProbed, p.SegmentsSkipped = int(probed), int(skipped)
+	}
+	if sd := td.Span("refine"); sd != nil {
+		p.RefineNS = sd.DurNS
+		hits, _ := sd.Int("cache_hits")
+		loads, _ := sd.Int("disk_loads")
+		p.CacheHits, p.DiskLoads = int(hits), int(loads)
+	}
+	if sd := td.Span("order"); sd != nil {
+		p.OrderNS = sd.DurNS
+	}
+	return p
 }
 
 type matchJSON struct {
@@ -462,14 +525,30 @@ func resolveTarget(eng *streamsum.Engine, w http.ResponseWriter, ref string) (*s
 	return e, true
 }
 
+// startHTTPTrace begins the span trace for one HTTP-driven operation:
+// recorded on the flight recorder when it is enabled, standalone (span
+// tree still built, nothing retained) otherwise, so the response's phase
+// breakdown is always available. An incoming W3C traceparent header
+// supplies the trace id, letting callers correlate sgsd's trace with
+// their own telemetry.
+func startHTTPTrace(r *http.Request, cat trace.Category, name string) *trace.Trace {
+	tid, _, _ := trace.ParseTraceparent(r.Header.Get("traceparent"))
+	if trace.Default.Enabled() {
+		return trace.Default.StartID(cat, name, tid)
+	}
+	return trace.New(cat, name, tid)
+}
+
 // matchHandler executes a Figure 3 matching query against the live
 // pattern base. The query's GIVEN reference is resolved as an archive
 // id, so analysts ask "what looks like cluster 17?" while the stream is
 // still running. Like sgstool match, the target's own archived copy is
 // excluded from the results rather than consuming LIMIT slots. Every
-// response carries the query's phase trace; a query at or above the
-// slow threshold (when positive) is additionally logged with it.
-func matchHandler(eng *streamsum.Engine, slow time.Duration) http.HandlerFunc {
+// response carries the query's phase breakdown (derived from its span
+// trace) and a traceparent header echoing the trace id; a query at or
+// above the slow threshold (when positive) is additionally logged with
+// it.
+func matchHandler(eng *streamsum.Engine, slow time.Duration, logger *slog.Logger) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		qs := r.URL.Query().Get("q")
 		if qs == "" {
@@ -491,34 +570,42 @@ func matchHandler(eng *streamsum.Engine, slow time.Duration) http.HandlerFunc {
 		if limit > 0 {
 			mo.Limit = limit + 1 // the target itself matches at distance 0
 		}
-		var tr streamsum.MatchTrace
-		mo.Trace = &tr
+		tr := startHTTPTrace(r, trace.Match, "http.match")
+		tr.Root().SetInt("target", id)
+		mo.Trace = tr
 		start := time.Now()
 		ms, stats, err := eng.Match(mo)
 		if err != nil {
+			tr.Root().SetStr("error", err.Error())
+			tr.Finish()
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 			return
 		}
+		root := tr.Root()
+		root.SetInt("candidates", int64(stats.IndexCandidates))
+		root.SetInt("matches", int64(len(ms)))
+		tid := tr.ID()
+		td, _ := tr.Finish()
+		phases := phasesFromTrace(td)
 		if elapsed := time.Since(start); slow > 0 && elapsed >= slow {
-			log.Printf("sgsd: slow /match target=%d took=%s (threshold %s): filter=%s refine=%s order=%s segments probed=%d skipped=%d cache hits=%d disk loads=%d candidates=%d refined=%d",
-				id, elapsed, slow,
-				time.Duration(tr.FilterNS), time.Duration(tr.RefineNS), time.Duration(tr.OrderNS),
-				tr.SegmentsProbed, tr.SegmentsSkipped, tr.CacheHits, tr.DiskLoads,
-				stats.IndexCandidates, stats.Refined)
+			logger.Warn("slow /match",
+				"target", id, "took", elapsed, "threshold", slow,
+				"filter", time.Duration(phases.FilterNS),
+				"refine", time.Duration(phases.RefineNS),
+				"order", time.Duration(phases.OrderNS),
+				"segments_probed", phases.SegmentsProbed,
+				"segments_skipped", phases.SegmentsSkipped,
+				"cache_hits", phases.CacheHits,
+				"disk_loads", phases.DiskLoads,
+				"candidates", stats.IndexCandidates,
+				"refined", stats.Refined,
+				"trace", td.TraceID)
 		}
 		resp := matchRespJSON{
 			Candidates: stats.IndexCandidates,
 			Refined:    stats.Refined,
-			Phases: matchPhasesJSON{
-				FilterNS:        tr.FilterNS,
-				RefineNS:        tr.RefineNS,
-				OrderNS:         tr.OrderNS,
-				SegmentsProbed:  tr.SegmentsProbed,
-				SegmentsSkipped: tr.SegmentsSkipped,
-				CacheHits:       tr.CacheHits,
-				DiskLoads:       tr.DiskLoads,
-			},
-			Matches: make([]matchJSON, 0, len(ms)),
+			Phases:     phases,
+			Matches:    make([]matchJSON, 0, len(ms)),
 		}
 		for _, m := range ms {
 			if m.ID == id {
@@ -533,6 +620,7 @@ func matchHandler(eng *streamsum.Engine, slow time.Duration) http.HandlerFunc {
 			})
 		}
 		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("traceparent", trace.Traceparent(tid, 1))
 		_ = json.NewEncoder(w).Encode(resp)
 	}
 }
@@ -604,6 +692,17 @@ func subscribeHandler(eng *streamsum.Engine, shutdown <-chan struct{}) http.Hand
 		}
 		defer eng.Unsubscribe(s)
 
+		// One trace spans the connection's lifetime: registration through
+		// the last delivered event. The flight recorder only sees it once
+		// the client disconnects (traces commit at Finish).
+		tr := startHTTPTrace(r, trace.SubEval, "http.subscribe")
+		tr.Root().SetInt("sub", s.ID())
+		delivered := int64(0)
+		defer func() {
+			tr.Root().SetInt("events", delivered)
+			tr.Finish()
+		}()
+
 		flusher, ok := w.(http.Flusher)
 		if !ok {
 			http.Error(w, "streaming unsupported", http.StatusInternalServerError)
@@ -616,6 +715,7 @@ func subscribeHandler(eng *streamsum.Engine, shutdown <-chan struct{}) http.Hand
 			w.Header().Set("Content-Type", "application/x-ndjson")
 		}
 		w.Header().Set("Cache-Control", "no-cache")
+		w.Header().Set("traceparent", trace.Traceparent(tr.ID(), 1))
 		emit := func(ev any) bool {
 			b, err := json.Marshal(ev)
 			if err != nil {
@@ -661,6 +761,7 @@ func subscribeHandler(eng *streamsum.Engine, shutdown <-chan struct{}) http.Hand
 				if !emit(out) {
 					return
 				}
+				delivered++
 			case <-r.Context().Done():
 				return
 			case <-shutdown:
@@ -740,6 +841,110 @@ func metricsHandler() http.HandlerFunc {
 	}
 }
 
+// traceSummaryJSON is one flight-recorder trace in the /debug/traces
+// listing; fetch the full span tree with ?trace=ID.
+type traceSummaryJSON struct {
+	Trace    string `json:"trace"`
+	Category string `json:"category"`
+	Name     string `json:"name"`
+	StartNS  int64  `json:"start_unix_ns"`
+	DurNS    int64  `json:"dur_ns"`
+	Spans    int    `json:"spans"`
+	Dropped  int    `json:"dropped_spans,omitempty"`
+}
+
+// tracesHandler serves the flight recorder. Without parameters it lists
+// every retained trace (newest first within each category) as JSON
+// summaries; ?category=NAME restricts to one pipeline category and
+// ?trace=ID exports one trace's spans as NDJSON, one span per line, for
+// piping into jq or a trace viewer.
+func tracesHandler() http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if id := r.URL.Query().Get("trace"); id != "" {
+			td, ok := trace.Default.Find(id)
+			if !ok {
+				http.Error(w, fmt.Sprintf("no retained trace %q (the flight recorder keeps the last %d per category)", id, trace.Default.Capacity()), http.StatusNotFound)
+				return
+			}
+			w.Header().Set("Content-Type", "application/x-ndjson")
+			enc := json.NewEncoder(w)
+			for _, sd := range td.Spans {
+				_ = enc.Encode(sd)
+			}
+			return
+		}
+		var tds []trace.TraceData
+		if c := r.URL.Query().Get("category"); c != "" {
+			found := false
+			for _, cat := range trace.Categories() {
+				if cat.String() == c {
+					tds = trace.Default.Traces(cat)
+					found = true
+					break
+				}
+			}
+			if !found {
+				http.Error(w, fmt.Sprintf("unknown category %q", c), http.StatusBadRequest)
+				return
+			}
+		} else {
+			tds = trace.Default.All()
+		}
+		out := make([]traceSummaryJSON, 0, len(tds))
+		for _, td := range tds {
+			out = append(out, traceSummaryJSON{
+				Trace:    td.TraceID,
+				Category: td.Category,
+				Name:     td.Name,
+				StartNS:  td.StartNS,
+				DurNS:    td.DurNS,
+				Spans:    len(td.Spans),
+				Dropped:  td.Dropped,
+			})
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(out)
+	}
+}
+
+// processStart anchors the uptime gauges; package initialization runs
+// before main, so this is as close to process birth as Go can observe.
+var processStart = time.Now()
+
+// buildIdentity reports the running binary's Go toolchain version and
+// VCS revision ("unknown" outside a VCS checkout, e.g. module-cache
+// builds or docker COPY contexts).
+func buildIdentity() (goVersion, revision string) {
+	goVersion = runtime.Version()
+	revision = "unknown"
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		for _, s := range bi.Settings {
+			if s.Key == "vcs.revision" {
+				revision = s.Value
+			}
+		}
+	}
+	return goVersion, revision
+}
+
+// registerBuildGauges exposes the binary's build and process identity:
+// which code is running (go version + VCS revision, as labels on a
+// constant-1 info gauge, the Prometheus convention) and since when
+// (start time + derived uptime).
+func registerBuildGauges() {
+	goVersion, revision := buildIdentity()
+	obs.RegisterGaugeFunc("sgs_build_info",
+		"Build identity; the value is always 1, the identity is in the labels.",
+		func() float64 { return 1 },
+		obs.L{Key: "go_version", Value: goVersion}, obs.L{Key: "revision", Value: revision})
+	obs.RegisterGaugeFunc("sgs_process_start_time_seconds",
+		"Unix time the process started.",
+		func() float64 { return float64(processStart.UnixNano()) / 1e9 })
+	obs.RegisterGaugeFunc("sgs_process_uptime_seconds",
+		"Seconds since the process started.",
+		func() float64 { return time.Since(processStart).Seconds() })
+}
+
 // cacheHitRatio is the decoded-summary cache's hit fraction, 0 when the
 // cache is disabled or untouched.
 func cacheHitRatio(hits, misses uint64) float64 {
@@ -750,15 +955,21 @@ func cacheHitRatio(hits, misses uint64) float64 {
 }
 
 // statsHandler reports the pattern base's current size (split across the
-// memory and disk tiers), the decoded-summary cache, and the
-// standing-query registry's activity.
+// memory and disk tiers), the decoded-summary cache, the standing-query
+// registry's activity, and the process's build and runtime identity.
 func statsHandler(eng *streamsum.Engine) http.HandlerFunc {
+	goVersion, revision := buildIdentity()
 	return func(w http.ResponseWriter, r *http.Request) {
 		base := eng.PatternBase()
 		ts := base.TierStats()
 		ss := eng.SubscriptionStats()
 		w.Header().Set("Content-Type", "application/json")
 		_ = json.NewEncoder(w).Encode(map[string]any{
+			"go_version":           goVersion,
+			"revision":             revision,
+			"start_time_unix":      processStart.Unix(),
+			"uptime_seconds":       time.Since(processStart).Seconds(),
+			"trace_capacity":       trace.Default.Capacity(),
 			"clusters":             base.Len(),
 			"bytes":                base.Bytes(),
 			"mem_clusters":         ts.MemEntries,

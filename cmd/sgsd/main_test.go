@@ -5,6 +5,7 @@ import (
 	"context"
 	"encoding/json"
 	"io"
+	"log/slog"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -14,6 +15,10 @@ import (
 	"streamsum"
 	"streamsum/internal/gen"
 )
+
+// testLogger discards everything; tests that assert on log output build
+// their own buffer-backed logger instead.
+func testLogger() *slog.Logger { return slog.New(slog.DiscardHandler) }
 
 // testEngine builds an archiving engine with some history so /match and
 // /subscribe targets resolve.
@@ -58,7 +63,7 @@ func TestHTTPErrorHygiene(t *testing.T) {
 	eng := testEngine(t)
 	mux := http.NewServeMux()
 	shutdown := make(chan struct{})
-	mux.HandleFunc("/match", matchHandler(eng, 0))
+	mux.HandleFunc("/match", matchHandler(eng, 0, testLogger()))
 	mux.HandleFunc("/subscribe", subscribeHandler(eng, shutdown))
 	mux.HandleFunc("/stats", statsHandler(eng))
 	srv := httptest.NewServer(mux)

@@ -3,10 +3,9 @@ package main
 import (
 	"bytes"
 	"encoding/json"
-	"log"
+	"log/slog"
 	"net/http"
 	"net/http/httptest"
-	"os"
 	"strings"
 	"testing"
 	"time"
@@ -129,27 +128,36 @@ func TestHTTPStatsFields(t *testing.T) {
 func TestHTTPMatchPhases(t *testing.T) {
 	eng := testEngine(t)
 	mux := http.NewServeMux()
-	mux.HandleFunc("/match", matchHandler(eng, 0))
+	mux.HandleFunc("/match", matchHandler(eng, 0, testLogger()))
 	srv := httptest.NewServer(mux)
 	defer srv.Close()
 
-	code, body := get(t, srv, "/match?q="+q("GIVEN DensityBasedCluster 0 SELECT DensityBasedClusters FROM History WHERE Distance <= 0.3 LIMIT 2"))
-	if code != 200 {
-		t.Fatalf("status %d: %s", code, body)
+	resp0, err := srv.Client().Get(srv.URL + "/match?q=" + q("GIVEN DensityBasedCluster 0 SELECT DensityBasedClusters FROM History WHERE Distance <= 0.3 LIMIT 2"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp0.Body.Close()
+	var body bytes.Buffer
+	if _, err := body.ReadFrom(resp0.Body); err != nil {
+		t.Fatal(err)
+	}
+	if resp0.StatusCode != 200 {
+		t.Fatalf("status %d: %s", resp0.StatusCode, body.String())
 	}
 	var resp struct {
 		Refined int `json:"refined"`
 		Phases  *struct {
-			FilterNS  int64 `json:"filter_ns"`
-			RefineNS  int64 `json:"refine_ns"`
-			OrderNS   int64 `json:"order_ns"`
-			Probed    int   `json:"segments_probed"`
-			Skipped   int   `json:"segments_skipped"`
-			CacheHits int   `json:"cache_hits"`
-			DiskLoads int   `json:"disk_loads"`
+			Trace     string `json:"trace"`
+			FilterNS  int64  `json:"filter_ns"`
+			RefineNS  int64  `json:"refine_ns"`
+			OrderNS   int64  `json:"order_ns"`
+			Probed    int    `json:"segments_probed"`
+			Skipped   int    `json:"segments_skipped"`
+			CacheHits int    `json:"cache_hits"`
+			DiskLoads int    `json:"disk_loads"`
 		} `json:"phases"`
 	}
-	if err := json.Unmarshal([]byte(body), &resp); err != nil {
+	if err := json.Unmarshal(body.Bytes(), &resp); err != nil {
 		t.Fatalf("bad /match JSON: %v", err)
 	}
 	if resp.Phases == nil {
@@ -162,6 +170,14 @@ func TestHTTPMatchPhases(t *testing.T) {
 	// so no segment probes and no cache/disk attribution.
 	if resp.Phases.Probed != 0 || resp.Phases.Skipped != 0 {
 		t.Errorf("memory-only base reports segment probes: %+v", resp.Phases)
+	}
+	// The phase summary is derived from a span trace, whose id comes back
+	// both in the body and as a W3C traceparent response header.
+	if len(resp.Phases.Trace) != 32 {
+		t.Errorf("phases trace id %q, want 32 hex chars", resp.Phases.Trace)
+	}
+	if tp := resp0.Header.Get("traceparent"); !strings.Contains(tp, resp.Phases.Trace) {
+		t.Errorf("traceparent header %q does not carry trace id %q", tp, resp.Phases.Trace)
 	}
 }
 
@@ -178,22 +194,20 @@ func TestSlowQueryLog(t *testing.T) {
 		{name: "disabled", slow: 0, wantLog: false},
 	} {
 		t.Run(tc.name, func(t *testing.T) {
+			var logBuf bytes.Buffer
+			logger := slog.New(slog.NewTextHandler(&logBuf, nil))
 			mux := http.NewServeMux()
-			mux.HandleFunc("/match", matchHandler(eng, tc.slow))
+			mux.HandleFunc("/match", matchHandler(eng, tc.slow, logger))
 			srv := httptest.NewServer(mux)
 			defer srv.Close()
 
-			var logBuf bytes.Buffer
-			log.SetOutput(&logBuf)
-			defer log.SetOutput(os.Stderr)
 			code, body := get(t, srv, "/match?q="+q("GIVEN DensityBasedCluster 0 SELECT DensityBasedClusters FROM History WHERE Distance <= 0.3 LIMIT 2"))
-			log.SetOutput(os.Stderr)
 			if code != 200 {
 				t.Fatalf("status %d: %s", code, body)
 			}
 			got := logBuf.String()
 			if tc.wantLog {
-				for _, want := range []string{"slow /match", "filter=", "refine=", "order=", "cache hits="} {
+				for _, want := range []string{"slow /match", "filter=", "refine=", "order=", "cache_hits=", "trace="} {
 					if !strings.Contains(got, want) {
 						t.Errorf("slow-query log %q missing %q", got, want)
 					}

@@ -1,0 +1,272 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"streamsum"
+	"streamsum/internal/gen"
+	"streamsum/internal/trace"
+)
+
+// withRecorder enables the process flight recorder for one test and
+// restores the previous capacity (tests in this package share
+// trace.Default, so leaking an enabled recorder would change what the
+// other tests measure).
+func withRecorder(t *testing.T, capacity int) {
+	t.Helper()
+	old := trace.Default.Capacity()
+	trace.Default.SetCapacity(capacity)
+	t.Cleanup(func() { trace.Default.SetCapacity(old) })
+}
+
+// wellFormedTrace asserts the span tree invariants on a retained trace:
+// unique span ids, a root with id 1 / parent 0, and every non-root
+// parent id resolving to an earlier span.
+func wellFormedTrace(t *testing.T, td trace.TraceData) {
+	t.Helper()
+	if len(td.Spans) == 0 {
+		t.Fatalf("trace %s has no spans", td.TraceID)
+	}
+	ids := make(map[uint32]bool, len(td.Spans))
+	for _, sd := range td.Spans {
+		if ids[sd.ID] {
+			t.Errorf("trace %s: duplicate span id %d", td.TraceID, sd.ID)
+		}
+		ids[sd.ID] = true
+	}
+	if td.Spans[0].ID != 1 || td.Spans[0].Parent != 0 {
+		t.Errorf("trace %s: root span is %d/%d, want 1/0", td.TraceID, td.Spans[0].ID, td.Spans[0].Parent)
+	}
+	for _, sd := range td.Spans[1:] {
+		if !ids[sd.Parent] {
+			t.Errorf("trace %s: span %d (%s) has unresolved parent %d", td.TraceID, sd.ID, sd.Name, sd.Parent)
+		}
+	}
+}
+
+// TestHTTPTraceRetrieval: a /match request carrying a W3C traceparent
+// header produces a trace under that id, retrievable at /debug/traces
+// with the filter/refine/order phase spans and one child span per
+// probed shard.
+func TestHTTPTraceRetrieval(t *testing.T) {
+	withRecorder(t, 8)
+	eng := testEngine(t)
+	mux := http.NewServeMux()
+	mux.HandleFunc("/match", matchHandler(eng, 0, testLogger()))
+	mux.HandleFunc("/debug/traces", tracesHandler())
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	const traceID = "0af7651916cd43dd8448eb211c80319c"
+	req, err := http.NewRequest("GET", srv.URL+"/match?q="+q("GIVEN DensityBasedCluster 0 SELECT DensityBasedClusters FROM History WHERE Distance <= 0.3 LIMIT 2"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("traceparent", "00-"+traceID+"-b7ad6b7169203331-01")
+	resp, err := srv.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("/match status %d", resp.StatusCode)
+	}
+	if tp := resp.Header.Get("traceparent"); !strings.Contains(tp, traceID) {
+		t.Fatalf("response traceparent %q does not continue trace %s", tp, traceID)
+	}
+
+	// The trace is retained under the caller's id and its span tree is
+	// well-formed.
+	td, ok := trace.Default.Find(traceID)
+	if !ok {
+		t.Fatalf("trace %s not retained by the flight recorder", traceID)
+	}
+	wellFormedTrace(t, td)
+	var filterID uint32
+	for _, name := range []string{"filter", "refine", "order"} {
+		sd := td.Span(name)
+		if sd == nil {
+			t.Fatalf("trace %s has no %q span", traceID, name)
+		}
+		if name == "filter" {
+			filterID = sd.ID
+		}
+	}
+	shards := td.Children(filterID)
+	if len(shards) == 0 {
+		t.Error("filter span has no per-shard child spans")
+	}
+
+	// The same trace exports over HTTP as NDJSON, one span per line.
+	code, body := get(t, srv, "/debug/traces?trace="+traceID)
+	if code != 200 {
+		t.Fatalf("/debug/traces?trace= status %d: %s", code, body)
+	}
+	var lines int
+	sc := bufio.NewScanner(strings.NewReader(body))
+	for sc.Scan() {
+		var sd struct {
+			ID   uint32 `json:"id"`
+			Name string `json:"name"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &sd); err != nil {
+			t.Fatalf("bad NDJSON span line %q: %v", sc.Text(), err)
+		}
+		lines++
+	}
+	if lines != len(td.Spans) {
+		t.Errorf("NDJSON export has %d spans, recorder has %d", lines, len(td.Spans))
+	}
+
+	// The listing carries it too, and category filtering works.
+	code, body = get(t, srv, "/debug/traces?category=match")
+	if code != 200 || !strings.Contains(body, traceID) {
+		t.Errorf("/debug/traces?category=match (status %d) missing trace %s", code, traceID)
+	}
+	if code, _ := get(t, srv, "/debug/traces?category=bogus"); code != 400 {
+		t.Errorf("unknown category status %d, want 400", code)
+	}
+	if code, _ := get(t, srv, "/debug/traces?trace=ffffffffffffffffffffffffffffffff"); code != 404 {
+		t.Errorf("unknown trace status %d, want 404", code)
+	}
+}
+
+// TestFlightRecorderConcurrency: scrape /debug/traces and /metrics in a
+// loop while ingest, one-shot matches, and subscription delivery run,
+// then assert the ring bounded retention per category and every
+// retained trace has a well-formed span tree. Run under -race this is
+// the recorder's publication-safety test.
+func TestFlightRecorderConcurrency(t *testing.T) {
+	const capacity = 4
+	withRecorder(t, capacity)
+	eng, err := streamsum.New(streamsum.Options{
+		Dim: 2, ThetaR: 1.0, ThetaC: 4, Win: 4000, Slide: 1000,
+		Archive: &streamsum.ArchiveOptions{},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Seed enough history that /match targets resolve before the
+	// concurrent phase starts.
+	seedData := gen.GMTI(gen.GMTIConfig{Seed: 7}, 8000)
+	if _, err := eng.PushBatch(seedData.Points, nil); err != nil {
+		t.Fatal(err)
+	}
+	if eng.PatternBase().Len() == 0 {
+		t.Fatal("fixture archived nothing")
+	}
+
+	shutdown := make(chan struct{})
+	mux := http.NewServeMux()
+	mux.HandleFunc("/match", matchHandler(eng, 0, testLogger()))
+	mux.HandleFunc("/subscribe", subscribeHandler(eng, shutdown))
+	mux.HandleFunc("/metrics", metricsHandler())
+	mux.HandleFunc("/debug/traces", tracesHandler())
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+	defer close(shutdown)
+
+	// A standing query whose events flow while the ingester below keeps
+	// completing windows.
+	subResp, err := srv.Client().Get(srv.URL + "/subscribe?q=" + q("GIVEN DensityBasedCluster 0 SELECT DensityBasedClusters FROM Stream WHERE Distance <= 0.5"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer subResp.Body.Close()
+	go func() {
+		sc := bufio.NewScanner(subResp.Body)
+		for sc.Scan() {
+		}
+	}()
+
+	var wg sync.WaitGroup
+	done := make(chan struct{})
+
+	// Ingester: single caller, pushing batches that complete windows and
+	// drive archiving + subscription evaluation.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer close(done)
+		data := gen.GMTI(gen.GMTIConfig{Seed: 8}, 24000)
+		for at := 0; at < len(data.Points); at += 1000 {
+			if _, err := eng.PushBatch(data.Points[at:at+1000], nil); err != nil {
+				t.Errorf("ingest: %v", err)
+				return
+			}
+		}
+	}()
+
+	// Matchers: one-shot queries against the snapshot-isolated base.
+	for g := 0; g < 2; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				code, body := get(t, srv, "/match?q="+q("GIVEN DensityBasedCluster 0 SELECT DensityBasedClusters FROM History WHERE Distance <= 0.3 LIMIT 2"))
+				if code != 200 {
+					t.Errorf("/match status %d: %s", code, body)
+					return
+				}
+			}
+		}()
+	}
+
+	// Scrapers: the flight recorder and metrics registry read while every
+	// pipeline writes.
+	paths := []string{"/debug/traces", "/debug/traces?category=ingest", "/metrics"}
+	for g := 0; g < len(paths); g++ {
+		wg.Add(1)
+		go func(path string) {
+			defer wg.Done()
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				if code, body := get(t, srv, path); code != 200 {
+					t.Errorf("%s status %d: %s", path, code, body)
+					return
+				}
+			}
+		}(paths[g])
+	}
+	wg.Wait()
+
+	// Ring eviction bounded retention, and everything retained is a
+	// well-formed span tree.
+	sawAny := false
+	for _, cat := range trace.Categories() {
+		tds := trace.Default.Traces(cat)
+		if len(tds) > capacity {
+			t.Errorf("category %s retains %d traces, capacity %d", cat, len(tds), capacity)
+		}
+		for _, td := range tds {
+			sawAny = true
+			wellFormedTrace(t, td)
+			if td.Category != cat.String() {
+				t.Errorf("trace %s filed under %s, labeled %s", td.TraceID, cat, td.Category)
+			}
+		}
+	}
+	if !sawAny {
+		t.Error("no traces retained after concurrent ingest/match/delivery")
+	}
+	for _, cat := range []trace.Category{trace.Ingest, trace.Match, trace.SubEval} {
+		if len(trace.Default.Traces(cat)) == 0 {
+			t.Errorf("category %s retained no traces", cat)
+		}
+	}
+}

@@ -1,0 +1,171 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// bench-diff compares `go test -bench` output against the repo's
+// recorded BENCH_*.json baselines and fails (exit 1) on regressions
+// beyond a tolerance. It reads the benchmark output from a file or
+// stdin, so CI pipes the bench-smoke run straight through it:
+//
+//	go test -bench=. -benchtime=1x ./... | sgstool bench-diff BENCH_ingest.json,BENCH_match.json -warn-only
+//
+// Benchmarks are matched by name after normalization: the -GOMAXPROCS
+// suffix go test appends is stripped from the output side, and the
+// package prefix some baselines carry ("internal/core BenchmarkFoo")
+// is stripped from the baseline side. Benchmarks present on only one
+// side are reported but never fail the run — baselines legitimately
+// outlive (and predate) individual benchmarks.
+
+// benchLine matches one result line of `go test -bench` output, e.g.
+// "BenchmarkPushBatch/workers4-8   	      1	37447221 ns/op".
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op`)
+
+// parseBenchOutput extracts ns/op per normalized benchmark name. A
+// benchmark that ran more than once (multiple -count runs, or the same
+// name in several packages) keeps its fastest run — the conventional
+// noise floor for regression checks.
+func parseBenchOutput(r io.Reader) (map[string]float64, error) {
+	out := make(map[string]float64)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		ns, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("bench-diff: bad ns/op in %q: %v", sc.Text(), err)
+		}
+		if prev, ok := out[m[1]]; !ok || ns < prev {
+			out[m[1]] = ns
+		}
+	}
+	return out, sc.Err()
+}
+
+// loadBaseline reads one BENCH_*.json file's results into normalized
+// name → ns/op. Entries without a positive ns_per_op are skipped (some
+// baselines carry derived-metric-only rows).
+func loadBaseline(path string) (map[string]float64, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var doc struct {
+		Results []struct {
+			Bench   string  `json:"bench"`
+			NsPerOp float64 `json:"ns_per_op"`
+		} `json:"results"`
+	}
+	if err := json.Unmarshal(b, &doc); err != nil {
+		return nil, fmt.Errorf("bench-diff: %s: %v", path, err)
+	}
+	out := make(map[string]float64, len(doc.Results))
+	for _, r := range doc.Results {
+		name := r.Bench
+		if at := strings.Index(name, "Benchmark"); at > 0 {
+			name = name[at:]
+		}
+		if r.NsPerOp > 0 {
+			out[name] = r.NsPerOp
+		}
+	}
+	return out, nil
+}
+
+// benchDelta is one compared benchmark: current vs baseline ns/op.
+type benchDelta struct {
+	Name     string
+	Base     float64
+	Got      float64
+	Ratio    float64 // Got / Base
+	Regessed bool
+}
+
+// diffBench compares the benchmarks present on both sides. A benchmark
+// regresses when its current ns/op exceeds the baseline by more than
+// the tolerance fraction (0.25 = 25% slower).
+func diffBench(base, got map[string]float64, tolerance float64) []benchDelta {
+	var out []benchDelta
+	for name, b := range base {
+		g, ok := got[name]
+		if !ok {
+			continue
+		}
+		out = append(out, benchDelta{
+			Name: name, Base: b, Got: g, Ratio: g / b,
+			Regessed: g > b*(1+tolerance),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Ratio > out[j].Ratio })
+	return out
+}
+
+// benchDiffCmd is the subcommand entry: baselines is the comma-separated
+// BENCH_*.json list (argv[2]), args the remaining flags. Returns the
+// process exit code.
+func benchDiffCmd(baselines string, args []string, stdin io.Reader, stdout io.Writer) int {
+	fs := flag.NewFlagSet("bench-diff", flag.ExitOnError)
+	input := fs.String("input", "-", "benchmark output to check: a file, or - for stdin")
+	tolerance := fs.Float64("tolerance", 0.25, "allowed slowdown fraction before a benchmark counts as regressed (0.25 = 25%)")
+	warnOnly := fs.Bool("warn-only", false, "report regressions but exit 0 (shared/noisy runners)")
+	_ = fs.Parse(args)
+
+	base := make(map[string]float64)
+	for _, path := range strings.Split(baselines, ",") {
+		m, err := loadBaseline(strings.TrimSpace(path))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sgstool: %v\n", err)
+			return 2
+		}
+		for k, v := range m {
+			base[k] = v
+		}
+	}
+
+	in := stdin
+	if *input != "-" {
+		f, err := os.Open(*input)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sgstool: %v\n", err)
+			return 2
+		}
+		defer f.Close()
+		in = f
+	}
+	got, err := parseBenchOutput(in)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sgstool: %v\n", err)
+		return 2
+	}
+
+	deltas := diffBench(base, got, *tolerance)
+	regressions := 0
+	for _, d := range deltas {
+		mark := "ok"
+		if d.Regessed {
+			mark = "REGRESSED"
+			regressions++
+		}
+		fmt.Fprintf(stdout, "%-60s %14.0f ns/op -> %14.0f ns/op  %+6.1f%%  %s\n",
+			d.Name, d.Base, d.Got, 100*(d.Ratio-1), mark)
+	}
+	fmt.Fprintf(stdout, "bench-diff: %d compared, %d regressed (tolerance %.0f%%), %d baseline-only, %d run-only\n",
+		len(deltas), regressions, *tolerance*100, len(base)-len(deltas), len(got)-len(deltas))
+	if regressions > 0 && !*warnOnly {
+		return 1
+	}
+	return 0
+}

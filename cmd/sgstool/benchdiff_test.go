@@ -1,0 +1,130 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const benchOutput = `goos: linux
+goarch: amd64
+pkg: streamsum
+cpu: Intel(R) Xeon(R) Processor @ 2.70GHz
+BenchmarkPushSequential 	       1	41000000 ns/op
+BenchmarkPushBatch/workers1-8         	       1	42000000 ns/op
+BenchmarkPushBatch/workers4-8         	       1	80000000 ns/op
+BenchmarkMatchRun/workers1-8          	       2	60000000 ns/op
+BenchmarkMatchRun/workers1-8          	       2	55000000 ns/op
+PASS
+ok  	streamsum	3.4s
+`
+
+func TestParseBenchOutput(t *testing.T) {
+	got, err := parseBenchOutput(strings.NewReader(benchOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]float64{
+		"BenchmarkPushSequential":     41000000, // no GOMAXPROCS suffix
+		"BenchmarkPushBatch/workers1": 42000000, // suffix stripped
+		"BenchmarkPushBatch/workers4": 80000000,
+		"BenchmarkMatchRun/workers1":  55000000, // fastest of two runs
+	}
+	if len(got) != len(want) {
+		t.Fatalf("parsed %d benchmarks, want %d: %v", len(got), len(want), got)
+	}
+	for name, ns := range want {
+		if got[name] != ns {
+			t.Errorf("%s = %v ns/op, want %v", name, got[name], ns)
+		}
+	}
+}
+
+func TestLoadBaselineNormalizesPackagePrefix(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "BENCH_test.json")
+	doc := `{
+	  "results": [
+	    {"bench": "BenchmarkPushBatch/workers1", "ns_per_op": 42115576, "tuples_per_sec": 23744},
+	    {"bench": "internal/core BenchmarkParallelDiscovery/workers1", "ns_per_op": 22382914},
+	    {"bench": "BenchmarkDerivedOnly", "tuples_per_sec": 100}
+	  ]
+	}`
+	if err := os.WriteFile(path, []byte(doc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	base, err := loadBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := base["BenchmarkParallelDiscovery/workers1"]; !ok {
+		t.Error("package prefix not stripped from baseline name")
+	}
+	if _, ok := base["internal/core BenchmarkParallelDiscovery/workers1"]; ok {
+		t.Error("raw prefixed name leaked through normalization")
+	}
+	if _, ok := base["BenchmarkDerivedOnly"]; ok {
+		t.Error("entry without ns_per_op should be skipped")
+	}
+	if base["BenchmarkPushBatch/workers1"] != 42115576 {
+		t.Errorf("plain name = %v, want 42115576", base["BenchmarkPushBatch/workers1"])
+	}
+}
+
+func TestDiffBench(t *testing.T) {
+	base := map[string]float64{
+		"BenchmarkA": 100,
+		"BenchmarkB": 100,
+		"BenchmarkC": 100, // absent from the run
+	}
+	got := map[string]float64{
+		"BenchmarkA": 110, // +10% — inside 25% tolerance
+		"BenchmarkB": 200, // +100% — regressed
+		"BenchmarkD": 50,  // absent from the baseline
+	}
+	deltas := diffBench(base, got, 0.25)
+	if len(deltas) != 2 {
+		t.Fatalf("compared %d benchmarks, want 2", len(deltas))
+	}
+	// Sorted worst-first.
+	if deltas[0].Name != "BenchmarkB" || !deltas[0].Regessed {
+		t.Errorf("worst delta = %+v, want regressed BenchmarkB", deltas[0])
+	}
+	if deltas[1].Name != "BenchmarkA" || deltas[1].Regessed {
+		t.Errorf("second delta = %+v, want non-regressed BenchmarkA", deltas[1])
+	}
+}
+
+// TestBenchDiffCmd drives the subcommand end to end against a real
+// baseline file: a clean run exits 0, a regressed run exits 1, and
+// -warn-only downgrades the failure to exit 0 while still reporting.
+func TestBenchDiffCmd(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "BENCH_test.json")
+	doc := `{"results": [{"bench": "BenchmarkX/n1", "ns_per_op": 1000}]}`
+	if err := os.WriteFile(path, []byte(doc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	run := func(output string, args ...string) (int, string) {
+		var out bytes.Buffer
+		code := benchDiffCmd(path, args, strings.NewReader(output), &out)
+		return code, out.String()
+	}
+
+	clean := "BenchmarkX/n1-8 \t 1 \t 1100 ns/op\n"
+	if code, out := run(clean); code != 0 || !strings.Contains(out, "1 compared, 0 regressed") {
+		t.Errorf("clean run: code %d, output %q", code, out)
+	}
+	slow := "BenchmarkX/n1-8 \t 1 \t 9000 ns/op\n"
+	if code, out := run(slow); code != 1 || !strings.Contains(out, "REGRESSED") {
+		t.Errorf("regressed run: code %d, output %q", code, out)
+	}
+	if code, out := run(slow, "-warn-only"); code != 0 || !strings.Contains(out, "REGRESSED") {
+		t.Errorf("warn-only run: code %d, output %q", code, out)
+	}
+	if code, _ := run(slow, "-tolerance", "10"); code != 0 {
+		t.Errorf("huge tolerance run: code %d, want 0", code)
+	}
+}

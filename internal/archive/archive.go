@@ -2,6 +2,7 @@ package archive
 
 import (
 	"fmt"
+	"log/slog"
 	"math/rand"
 	"sync"
 
@@ -68,6 +69,10 @@ type Config struct {
 	// SGS_SUMCACHE=off in the environment — disables the cache; every
 	// load then decodes from disk.
 	SummaryCacheBytes int
+	// Logger receives background diagnostics (demotion flush failures,
+	// correlated with their flight-recorder trace ids). Nil discards
+	// them.
+	Logger *slog.Logger
 }
 
 // Entry is one archived cluster. Entries are immutable once archived:
@@ -171,6 +176,7 @@ type Base struct {
 	mu     sync.Mutex
 	cfg    Config
 	rng    *rand.Rand
+	logger *slog.Logger
 	nextID int64
 
 	frozen      *generation
@@ -223,9 +229,14 @@ func New(cfg Config) (*Base, error) {
 		return nil, fmt.Errorf("archive: SummaryCacheBytes %d must be below MaxMemBytes %d (tier and cache share that bound)",
 			cfg.SummaryCacheBytes, cfg.MaxMemBytes)
 	}
+	logger := cfg.Logger
+	if logger == nil {
+		logger = slog.New(slog.DiscardHandler)
+	}
 	b := &Base{
 		cfg:    cfg,
 		rng:    rand.New(rand.NewSource(cfg.Seed)),
+		logger: logger,
 		frozen: newGeneration(cfg.Dim),
 		dead:   make(map[int64]struct{}),
 	}

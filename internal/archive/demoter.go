@@ -5,6 +5,7 @@ import (
 
 	"streamsum/internal/segstore"
 	"streamsum/internal/sgs"
+	"streamsum/internal/trace"
 )
 
 // maxPendingDemotions bounds the demotion queue: beyond this many
@@ -70,10 +71,18 @@ func (b *Base) demoteLoop() {
 		store := b.store
 		b.mu.Unlock()
 
+		tr := trace.Default.Start(trace.Demote, "archive.demote")
+		root := tr.Root()
+		root.SetInt("entries", int64(batch.count))
+		root.SetInt("bytes", int64(batch.bytes))
 		start := time.Now()
+		sp := tr.Start("flush") // serialize + write + fsync, off the base lock
 		p, err := store.PrepareFlush(batch.flushEntries())
+		sp.End()
 		if err == nil {
+			sp = tr.Start("commit") // rename + manifest publish
 			err = p.Commit()
+			sp.End()
 		}
 		metricDemoteSeconds.Observe(time.Since(start))
 		if err == nil {
@@ -81,7 +90,12 @@ func (b *Base) demoteLoop() {
 			metricDemoteEntries.Add(uint64(batch.count))
 		} else {
 			metricDemoteFailures.Inc()
+			root.SetStr("error", err.Error())
+			b.logger.Error("demotion flush failed; restoring queued batches to the memory tier",
+				"err", err, "entries", batch.count, "bytes", batch.bytes,
+				"trace", tr.ID().String())
 		}
+		tr.Finish()
 
 		b.mu.Lock()
 		if err != nil {

@@ -1,6 +1,7 @@
 package archive
 
 import (
+	"path/filepath"
 	"sync"
 
 	"streamsum/internal/featidx"
@@ -365,6 +366,23 @@ func (g segShard) ZoneIntersectsFeatures(lo, hi [4]float64) bool {
 		}
 	}
 	return true
+}
+
+// ShardInfo identifies a filter shard for per-query span tracing: a
+// human-readable label (the segment file's basename, or "mem" for the
+// memory tier) and the segment format version (0 when the shard is not
+// a disk segment). Purely descriptive — it never affects matching.
+type ShardInfo interface {
+	ShardInfo() (label string, format int)
+}
+
+// ShardInfo labels the memory-tier shard.
+func (m memShard) ShardInfo() (string, int) { return "mem", 0 }
+
+// ShardInfo labels a disk-segment shard with its file basename and
+// on-disk format version.
+func (g segShard) ShardInfo() (string, int) {
+	return filepath.Base(g.seg.Path()), g.seg.Format()
 }
 
 // ZoneSearcher is implemented by disk-segment filter shards: a cheap,

@@ -7,6 +7,7 @@ import (
 	"streamsum/internal/geom"
 	"streamsum/internal/grid"
 	"streamsum/internal/par"
+	"streamsum/internal/trace"
 	"streamsum/internal/window"
 )
 
@@ -156,7 +157,9 @@ func (e *Extractor) PushBatch(pts []geom.Point, tss []int64) ([]*WindowResult, e
 	if tss != nil && len(tss) != len(pts) {
 		return nil, fmt.Errorf("core: PushBatch got %d timestamps for %d tuples", len(tss), len(pts))
 	}
-	return DriveBatch(BatchDriver{
+	e.tr = trace.Default.Start(trace.Ingest, "ingest.batch")
+	defer func() { e.tr = nil }()
+	out, err := DriveBatch(BatchDriver{
 		Dim: e.cfg.Dim, Window: e.cfg.Window,
 		NextID: &e.nextID, LastPos: &e.lastPos, Cur: &e.cur,
 		Emit: e.emit, Insert: e.insertSegment,
@@ -167,6 +170,21 @@ func (e *Extractor) PushBatch(pts []geom.Point, tss []int64) ([]*WindowResult, e
 			return fmt.Errorf("core: out-of-order position %d after %d", pos, last)
 		},
 	}, pts, tss)
+	FinishBatchTrace(e.tr, len(pts), len(out), err)
+	return out, err
+}
+
+// FinishBatchTrace stamps the batch-level attributes on an ingest
+// trace's root span and commits it to the flight recorder; both
+// extractors' PushBatch call it (nil trace = recorder disabled).
+func FinishBatchTrace(tr *trace.Trace, tuples, windows int, err error) {
+	root := tr.Root()
+	root.SetInt("tuples", int64(tuples))
+	root.SetInt("windows", int64(windows))
+	if err != nil {
+		root.SetStr("error", err.Error())
+	}
+	tr.Finish()
 }
 
 // insertSegment inserts one emission-free run of tuples through the
@@ -177,14 +195,18 @@ func (e *Extractor) insertSegment(seg []BatchEntry) {
 	if n < 2 || workers == 1 {
 		// The sequential fallback has no discovery/apply split; its whole
 		// insert loop is shared-state work, recorded under apply.
+		sp := e.tr.Start("apply")
 		start := time.Now()
 		for _, t := range seg {
 			e.insert(t.ID, t.P, t.Pos)
 		}
 		MetricApplySeconds.Observe(time.Since(start))
+		sp.SetInt("tuples", int64(n))
+		sp.End()
 		return
 	}
 	e.segSeq++
+	discoverySpan := e.tr.Start("discovery")
 	discoveryStart := time.Now()
 
 	// Phase 0: materialize the segment's objects (phase 1 reads them
@@ -263,6 +285,10 @@ func (e *Extractor) insertSegment(seg []BatchEntry) {
 		o.coreLast = o.tracker.CoreLast(o.last)
 	})
 	MetricDiscoverySeconds.Observe(time.Since(discoveryStart))
+	discoverySpan.SetInt("tuples", int64(n))
+	discoverySpan.SetInt("cells", int64(len(cells)))
+	discoverySpan.End()
+	applySpan := e.tr.Start("apply")
 	applyStart := time.Now()
 
 	// Phase 2 (sequential): cell membership and shared-state career
@@ -317,4 +343,7 @@ func (e *Extractor) insertSegment(seg []BatchEntry) {
 		e.refresh(q)
 	}
 	MetricApplySeconds.Observe(time.Since(applyStart))
+	applySpan.SetInt("tuples", int64(n))
+	applySpan.SetInt("grown", int64(len(grown)))
+	applySpan.End()
 }

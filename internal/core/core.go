@@ -7,6 +7,7 @@ import (
 	"streamsum/internal/geom"
 	"streamsum/internal/grid"
 	"streamsum/internal/sgs"
+	"streamsum/internal/trace"
 	"streamsum/internal/window"
 )
 
@@ -147,6 +148,12 @@ type Extractor struct {
 	expiry map[int64][]*object // window n -> objects with last == n
 
 	objCount int
+
+	// tr is the in-flight batch's span trace (flight recorder category
+	// Ingest), set only for the duration of a PushBatch; nil otherwise
+	// (single-tuple Push is untraced). Ingestion is single-caller, so no
+	// synchronization is needed.
+	tr *trace.Trace
 }
 
 // New returns an extractor for the given query.

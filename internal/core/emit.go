@@ -45,6 +45,7 @@ import (
 // (trivial, thanks to lifespan analysis) expiration stage and advances the
 // window.
 func (e *Extractor) emit() *WindowResult {
+	sp := e.tr.Start("emit")
 	start := time.Now()
 	n := e.cur
 	res := &WindowResult{Window: n}
@@ -179,6 +180,9 @@ func (e *Extractor) emit() *WindowResult {
 	MetricEmitSeconds.Observe(time.Since(start))
 	MetricWindows.Inc()
 	MetricClusters.Add(uint64(len(res.Clusters)))
+	sp.SetInt("window", n)
+	sp.SetInt("clusters", int64(len(res.Clusters)))
+	sp.End()
 	return res
 }
 

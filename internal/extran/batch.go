@@ -7,6 +7,7 @@ import (
 	"streamsum/internal/geom"
 	"streamsum/internal/grid"
 	"streamsum/internal/par"
+	"streamsum/internal/trace"
 	"streamsum/internal/window"
 )
 
@@ -43,13 +44,17 @@ func (e *Extractor) PushBatch(pts []geom.Point, tss []int64) ([]*core.WindowResu
 	if tss != nil && len(tss) != len(pts) {
 		return nil, errTSLen(len(tss), len(pts))
 	}
-	return core.DriveBatch(core.BatchDriver{
+	e.tr = trace.Default.Start(trace.Ingest, "ingest.batch")
+	defer func() { e.tr = nil }()
+	out, err := core.DriveBatch(core.BatchDriver{
 		Dim: e.cfg.Dim, Window: e.cfg.Window,
 		NextID: &e.nextID, LastPos: &e.lastPos, Cur: &e.cur,
 		Emit: e.emit, Insert: e.insertSegment,
 		ErrDim:   func(got, want int) error { return errDim(got, want) },
 		ErrOrder: func(pos, last int64) error { return errOrder(pos, last) },
 	}, pts, tss)
+	core.FinishBatchTrace(e.tr, len(pts), len(out), err)
+	return out, err
 }
 
 func (e *Extractor) insertSegment(seg []core.BatchEntry) {
@@ -58,14 +63,18 @@ func (e *Extractor) insertSegment(seg []core.BatchEntry) {
 	if n < 2 || workers == 1 {
 		// Sequential fallback: no phase split, recorded under apply (the
 		// same attribution core's fallback uses).
+		sp := e.tr.Start("apply")
 		start := time.Now()
 		for _, t := range seg {
 			e.insert(t.ID, t.P, t.Pos)
 		}
 		core.MetricApplySeconds.Observe(time.Since(start))
+		sp.SetInt("tuples", int64(n))
+		sp.End()
 		return
 	}
 	e.segSeq++
+	discoverySpan := e.tr.Start("discovery")
 	discoveryStart := time.Now()
 
 	// Phase 0: materialize objects and group the segment by occupied cell
@@ -145,6 +154,10 @@ func (e *Extractor) insertSegment(seg []core.BatchEntry) {
 		o.coreLast = o.tracker.CoreLast(o.last)
 	})
 	core.MetricDiscoverySeconds.Observe(time.Since(discoveryStart))
+	discoverySpan.SetInt("tuples", int64(n))
+	discoverySpan.SetInt("cells", int64(len(cells)))
+	discoverySpan.End()
+	applySpan := e.tr.Start("apply")
 	applyStart := time.Now()
 
 	// Phase 2 (sequential): registration and shared-state career growth,
@@ -186,4 +199,7 @@ func (e *Extractor) insertSegment(seg []core.BatchEntry) {
 		e.unionViews(g.q, from)
 	}
 	core.MetricApplySeconds.Observe(time.Since(applyStart))
+	applySpan.SetInt("tuples", int64(n))
+	applySpan.SetInt("grown", int64(len(grown)))
+	applySpan.End()
 }

@@ -10,6 +10,7 @@ import (
 	"streamsum/internal/geom"
 	"streamsum/internal/grid"
 	"streamsum/internal/par"
+	"streamsum/internal/trace"
 	"streamsum/internal/window"
 )
 
@@ -93,6 +94,12 @@ type Extractor struct {
 	objs   map[int64]*object
 	views  map[int64]*view     // window index -> predicted membership
 	expiry map[int64][]*object // window n -> objects with last == n
+
+	// tr is the in-flight batch's span trace (flight recorder category
+	// Ingest), set only for the duration of a PushBatch; nil otherwise
+	// (single-tuple Push is untraced). Ingestion is single-caller, so no
+	// synchronization is needed.
+	tr *trace.Trace
 }
 
 // New returns an Extra-N extractor for the given query.
@@ -267,6 +274,7 @@ func (e *Extractor) view(n int64) *view {
 // work item); member sorting then fans out across clusters. Output is
 // byte-identical at every worker count.
 func (e *Extractor) emit() *core.WindowResult {
+	sp := e.tr.Start("emit")
 	start := time.Now()
 	n := e.cur
 	res := &core.WindowResult{Window: n}
@@ -391,6 +399,9 @@ func (e *Extractor) emit() *core.WindowResult {
 	core.MetricEmitSeconds.Observe(time.Since(start))
 	core.MetricWindows.Inc()
 	core.MetricClusters.Add(uint64(len(res.Clusters)))
+	sp.SetInt("window", n)
+	sp.SetInt("clusters", int64(len(res.Clusters)))
+	sp.End()
 	return res
 }
 

@@ -10,6 +10,7 @@ import (
 	"streamsum/internal/geom"
 	"streamsum/internal/par"
 	"streamsum/internal/sgs"
+	"streamsum/internal/trace"
 )
 
 // Source is the read view a matching query executes against. Both
@@ -86,30 +87,15 @@ type Query struct {
 	// fully sequential pipeline. Results are byte-identical at every
 	// setting.
 	Workers int
-	// Trace, when non-nil, receives the query's phase breakdown (wall
-	// times, segment probe/skip counts, cache attribution). Tracing
+	// Trace, when non-nil, receives the query's span tree: filter /
+	// refine / order phase spans with wall times, per-shard child spans
+	// under filter (segment label, format, zone admission), and pruning
+	// attribution (segment probe/skip counts, cache hits vs disk loads)
+	// as span attributes. Run records into the trace but neither
+	// finishes nor discards it — the caller owns its lifetime. Tracing
 	// never changes the result; it lives outside Stats so the
 	// deterministic statistics stay exactly comparable across runs.
-	Trace *Trace
-}
-
-// Trace is one query's phase breakdown, filled by Run when
-// Query.Trace is set. Unlike Stats, its fields are timing-dependent
-// and differ run to run.
-type Trace struct {
-	FilterNS int64 // filter phase wall time, ns
-	RefineNS int64 // refine phase wall time, ns
-	OrderNS  int64 // order phase wall time, ns
-	// Disk-shard attribution: shards whose zone admitted the query and
-	// were scanned vs shards the zone filter skipped whole. The memory
-	// tier has no zone and is counted in neither.
-	SegmentsProbed  int
-	SegmentsSkipped int
-	// Refine-phase load attribution: summaries served by the
-	// decoded-summary cache vs decoded from a segment. Memory-tier
-	// candidates appear in neither count.
-	CacheHits int
-	DiskLoads int
+	Trace *trace.Trace
 }
 
 // Match is one result of a matching query.
@@ -234,14 +220,22 @@ func Run(src Source, q Query) ([]Match, Stats, error) {
 		return FeatureDistance(targetFeat, v, w) <= q.Threshold
 	}
 	metricQueries.Inc()
+	tr := q.Trace
+	filterSpan := tr.Start("filter")
 	filterStart := time.Now()
 	shards := filterShards(src)
 	st.FilterShards = len(shards)
-	if q.Trace != nil {
-		// Re-run the zone tests the disk shards' own searches apply, so
-		// the trace can say which segments the query actually scanned.
-		// The checks are probe-free and do not change what filterOne does.
-		for _, sh := range shards {
+	// Zone admission per shard (-1 no zone, 0 skipped, 1 probed), only
+	// resolved when tracing: these re-run the zone tests the disk shards'
+	// own searches apply, so the trace can say which segments the query
+	// actually scanned. The checks are probe-free and do not change what
+	// filterOne does.
+	var zone []int8
+	if tr != nil {
+		zone = make([]int8, len(shards))
+		segProbed, segSkipped := 0, 0
+		for i, sh := range shards {
+			zone[i] = -1
 			zs, ok := sh.(archive.ZoneSearcher)
 			if !ok {
 				continue
@@ -251,16 +245,38 @@ func Run(src Source, q Query) ([]Match, Stats, error) {
 				admitted = zs.ZoneIntersectsLocation(targetMBR)
 			}
 			if admitted {
-				q.Trace.SegmentsProbed++
+				zone[i] = 1
+				segProbed++
 			} else {
-				q.Trace.SegmentsSkipped++
+				zone[i] = 0
+				segSkipped++
 			}
 		}
+		filterSpan.SetInt("segments_probed", int64(segProbed))
+		filterSpan.SetInt("segments_skipped", int64(segSkipped))
 	}
 	perShard := make([][]*archive.Entry, len(shards))
 	probed := make([]int, len(shards))
 	par.ForEach(q.Workers, len(shards), func(i int) {
+		if tr == nil {
+			perShard[i], probed[i] = filterOne(shards[i], gate, w, targetMBR, lo, hi)
+			return
+		}
+		sp := filterSpan.Child("shard")
+		if si, ok := shards[i].(archive.ShardInfo); ok {
+			label, format := si.ShardInfo()
+			sp.SetStr("segment", label)
+			if format > 0 {
+				sp.SetInt("format", int64(format))
+			}
+		}
+		if zone[i] >= 0 {
+			sp.SetBool("zone_skip", zone[i] == 0)
+		}
 		perShard[i], probed[i] = filterOne(shards[i], gate, w, targetMBR, lo, hi)
+		sp.SetInt("candidates", int64(probed[i]))
+		sp.SetInt("kept", int64(len(perShard[i])))
+		sp.End()
 	})
 	var refine []*archive.Entry
 	for i, part := range perShard {
@@ -273,11 +289,15 @@ func Run(src Source, q Query) ([]Match, Stats, error) {
 	metricFilterSeconds.Observe(filterDur)
 	metricCandidates.Add(uint64(st.IndexCandidates))
 	metricRefined.Add(uint64(st.Refined))
+	filterSpan.SetInt("shards", int64(st.FilterShards))
+	filterSpan.SetInt("candidates", int64(st.IndexCandidates))
+	filterSpan.End()
 
 	// --- Phase 2: refine — parallel grid-cell-level cluster match ---------
 	// Candidates are independent: each worker reads the shared immutable
 	// summaries (loading disk-resident ones lazily) and writes only its
 	// own slots.
+	refineSpan := tr.Start("refine")
 	refineStart := time.Now()
 	dists := make([]float64, len(refine))
 	sums := make([]*sgs.Summary, len(refine))
@@ -300,20 +320,26 @@ func Run(src Source, q Query) ([]Match, Stats, error) {
 	}
 	refineDur := time.Since(refineStart)
 	metricRefineSeconds.Observe(refineDur)
-	if q.Trace != nil {
+	if tr != nil {
+		cacheHits, diskLoads := 0, 0
 		for i, e := range refine {
 			if e.Summary != nil {
 				continue // memory tier: no load happened
 			}
 			if hits[i] {
-				q.Trace.CacheHits++
+				cacheHits++
 			} else {
-				q.Trace.DiskLoads++
+				diskLoads++
 			}
 		}
+		refineSpan.SetInt("refined", int64(st.Refined))
+		refineSpan.SetInt("cache_hits", int64(cacheHits))
+		refineSpan.SetInt("disk_loads", int64(diskLoads))
 	}
+	refineSpan.End()
 
 	// --- Phase 3: order — threshold, sort, top-k --------------------------
+	orderSpan := tr.Start("order")
 	orderStart := time.Now()
 	var matches []Match
 	for i, e := range refine {
@@ -334,11 +360,8 @@ func Run(src Source, q Query) ([]Match, Stats, error) {
 	}
 	orderDur := time.Since(orderStart)
 	metricOrderSeconds.Observe(orderDur)
-	if q.Trace != nil {
-		q.Trace.FilterNS = filterDur.Nanoseconds()
-		q.Trace.RefineNS = refineDur.Nanoseconds()
-		q.Trace.OrderNS = orderDur.Nanoseconds()
-	}
+	orderSpan.SetInt("matches", int64(len(matches)))
+	orderSpan.End()
 	return matches, st, nil
 }
 

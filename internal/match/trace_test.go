@@ -7,6 +7,7 @@ import (
 	"streamsum/internal/archive"
 	"streamsum/internal/sgs"
 	"streamsum/internal/sumcache"
+	"streamsum/internal/trace"
 )
 
 // buildTieredBase archives n clusters into a store-backed base and
@@ -38,50 +39,122 @@ func buildTieredBase(t *testing.T, n int, seed int64) (*archive.Base, []*sgs.Sum
 	return b, sums
 }
 
-// TestTraceFilled pins the Query.Trace contract: phase times are
-// recorded, disk shards are attributed as probed or skipped, and every
-// disk-resident refine load is attributed to the cache or the disk.
+// runTraced runs one query recording into a standalone trace and
+// returns the finished span tree.
+func runTraced(t *testing.T, src Source, q Query) (trace.TraceData, []Match, Stats) {
+	t.Helper()
+	tr := trace.New(trace.Match, "query", trace.ID{})
+	q.Trace = tr
+	matches, st, err := Run(src, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	td, ok := tr.Finish()
+	if !ok {
+		t.Fatal("trace did not export")
+	}
+	return td, matches, st
+}
+
+// attr fetches an integer span attribute, failing the test if absent.
+func attr(t *testing.T, sd *trace.SpanData, key string) int64 {
+	t.Helper()
+	if sd == nil {
+		t.Fatal("span missing")
+	}
+	v, ok := sd.Int(key)
+	if !ok {
+		t.Fatalf("span %q has no attr %q: %+v", sd.Name, key, sd.Attrs)
+	}
+	return v
+}
+
+// TestTraceFilled pins the Query.Trace contract: the query records
+// filter/refine/order phase spans with positive wall times, one child
+// span per filter shard carrying segment identity and zone admission,
+// and refine-phase cache/disk attribution as span attributes.
 func TestTraceFilled(t *testing.T) {
 	b, sums := buildTieredBase(t, 20, 11)
 	snap := b.Snapshot()
 
-	var tr Trace
-	matches, st, err := Run(snap, Query{Target: sums[0], Threshold: 0.2, Trace: &tr})
-	if err != nil {
-		t.Fatal(err)
-	}
+	td, matches, st := runTraced(t, snap, Query{Target: sums[0], Threshold: 0.2})
 	if len(matches) == 0 {
 		t.Fatal("no matches for the target's own archived copy")
 	}
-	if tr.FilterNS <= 0 || tr.RefineNS <= 0 || tr.OrderNS <= 0 {
-		t.Fatalf("phase times not recorded: %+v", tr)
+	filter, refine, order := td.Span("filter"), td.Span("refine"), td.Span("order")
+	if filter == nil || refine == nil || order == nil {
+		t.Fatalf("phase spans missing: %+v", td.Spans)
 	}
-	segs := len(snap.FilterShards()) - 1 // minus the memory shard
-	if tr.SegmentsProbed+tr.SegmentsSkipped != segs {
-		t.Fatalf("probed %d + skipped %d != %d disk shards",
-			tr.SegmentsProbed, tr.SegmentsSkipped, segs)
+	if filter.DurNS <= 0 || refine.DurNS <= 0 || order.DurNS <= 0 {
+		t.Fatalf("phase times not recorded: %d %d %d", filter.DurNS, refine.DurNS, order.DurNS)
 	}
-	if tr.SegmentsProbed == 0 {
+
+	shards := snap.FilterShards()
+	if got := attr(t, filter, "shards"); got != int64(len(shards)) {
+		t.Fatalf("filter shards attr %d, want %d", got, len(shards))
+	}
+	kids := td.Children(filter.ID)
+	if len(kids) != len(shards) {
+		t.Fatalf("%d per-shard child spans, want %d", len(kids), len(shards))
+	}
+	segs := len(shards) - 1 // minus the memory shard
+	probed, skipped := attr(t, filter, "segments_probed"), attr(t, filter, "segments_skipped")
+	if probed+skipped != int64(segs) {
+		t.Fatalf("probed %d + skipped %d != %d disk shards", probed, skipped, segs)
+	}
+	if probed == 0 {
 		t.Fatal("query that found matches probed no segments")
 	}
+	// Per-shard spans: exactly one memory shard labeled "mem" without a
+	// zone attribute; segment shards carry file label, format, and a
+	// zone_skip flag consistent with the aggregate counts.
+	mem, zoneSkips := 0, int64(0)
+	for i := range kids {
+		label, ok := kids[i].Str("segment")
+		if !ok {
+			t.Fatalf("shard span without segment label: %+v", kids[i].Attrs)
+		}
+		if label == "mem" {
+			mem++
+			if _, ok := kids[i].Bool("zone_skip"); ok {
+				t.Error("memory shard carries a zone_skip attribute")
+			}
+			continue
+		}
+		if f, ok := kids[i].Int("format"); !ok || f <= 0 {
+			t.Errorf("segment shard %q format attr = %d %v", label, f, ok)
+		}
+		if skip, ok := kids[i].Bool("zone_skip"); !ok {
+			t.Errorf("segment shard %q without zone_skip", label)
+		} else if skip {
+			zoneSkips++
+		}
+	}
+	if mem != 1 {
+		t.Fatalf("%d memory shard spans, want 1", mem)
+	}
+	if zoneSkips != skipped {
+		t.Fatalf("per-shard zone skips %d != aggregate %d", zoneSkips, skipped)
+	}
+
 	// Every refine candidate is disk-resident here, so each one is
 	// attributed to exactly one load source.
-	if tr.CacheHits+tr.DiskLoads != st.Refined {
-		t.Fatalf("cache hits %d + disk loads %d != refined %d",
-			tr.CacheHits, tr.DiskLoads, st.Refined)
+	hits, loads := attr(t, refine, "cache_hits"), attr(t, refine, "disk_loads")
+	if hits+loads != int64(st.Refined) {
+		t.Fatalf("cache hits %d + disk loads %d != refined %d", hits, loads, st.Refined)
+	}
+	if got := attr(t, order, "matches"); got != int64(len(matches)) {
+		t.Fatalf("order matches attr %d, want %d", got, len(matches))
 	}
 
 	// A repeat of the same query against the same snapshot must hit the
 	// decoded-summary cache for everything it loaded before (skipped when
 	// the cache is globally disabled via SGS_SUMCACHE=off).
 	if sumcache.Enabled() {
-		var tr2 Trace
-		if _, _, err := Run(snap, Query{Target: sums[0], Threshold: 0.2, Trace: &tr2}); err != nil {
-			t.Fatal(err)
-		}
-		if tr2.CacheHits != st.Refined || tr2.DiskLoads != 0 {
-			t.Fatalf("repeat query: cache hits %d, disk loads %d, want %d and 0",
-				tr2.CacheHits, tr2.DiskLoads, st.Refined)
+		td2, _, _ := runTraced(t, snap, Query{Target: sums[0], Threshold: 0.2})
+		r2 := td2.Span("refine")
+		if h, l := attr(t, r2, "cache_hits"), attr(t, r2, "disk_loads"); h != int64(st.Refined) || l != 0 {
+			t.Fatalf("repeat query: cache hits %d, disk loads %d, want %d and 0", h, l, st.Refined)
 		}
 	}
 }
@@ -96,14 +169,35 @@ func TestTraceZoneSkip(t *testing.T) {
 	far := summarize(t, blob(rng, 200, 5000, 5000, 0.8), 100)
 	w := EqualWeights()
 	w.PositionSensitive = true
-	var tr Trace
-	if _, _, err := Run(b.Snapshot(), Query{Target: far, Threshold: 0.3, Weights: &w, Trace: &tr}); err != nil {
+	td, _, _ := runTraced(t, b.Snapshot(), Query{Target: far, Threshold: 0.3, Weights: &w})
+	filter := td.Span("filter")
+	if got := attr(t, filter, "segments_skipped"); got == 0 {
+		t.Fatalf("remote query skipped no segments: %+v", filter.Attrs)
+	}
+	if got := attr(t, filter, "segments_probed"); got != 0 {
+		t.Fatalf("remote query probed %d segments, want 0", got)
+	}
+}
+
+// TestTraceDeterminism: recording a trace must not change the query's
+// results or statistics.
+func TestTraceDeterminism(t *testing.T) {
+	b, sums := buildTieredBase(t, 12, 13)
+	snap := b.Snapshot()
+	plain, pst, err := Run(snap, Query{Target: sums[3], Threshold: 0.35})
+	if err != nil {
 		t.Fatal(err)
 	}
-	if tr.SegmentsSkipped == 0 {
-		t.Fatalf("remote query skipped no segments: %+v", tr)
+	_, traced, tst := runTraced(t, snap, Query{Target: sums[3], Threshold: 0.35})
+	if pst != tst {
+		t.Fatalf("stats differ: %+v vs %+v", pst, tst)
 	}
-	if tr.SegmentsProbed != 0 {
-		t.Fatalf("remote query probed %d segments, want 0", tr.SegmentsProbed)
+	if len(plain) != len(traced) {
+		t.Fatalf("match counts differ: %d vs %d", len(plain), len(traced))
+	}
+	for i := range plain {
+		if plain[i].ID != traced[i].ID || plain[i].Distance != traced[i].Distance {
+			t.Fatalf("match %d differs: %+v vs %+v", i, plain[i], traced[i])
+		}
 	}
 }

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+
+	"streamsum/internal/trace"
 )
 
 // Compaction: merge runs of adjacent undersized segments (many small
@@ -51,7 +53,9 @@ func (st *Store) CompactNow() error {
 
 // compactOnce performs at most one merge. It reports whether it did any
 // work. At most one compaction runs at a time (cmu); the store lock is
-// held only for group selection and the commit.
+// held only for group selection and the commit. Each run that selected
+// work records one flight-recorder trace (category Compact) with merge
+// and commit spans; passes that found nothing to do record nothing.
 func (st *Store) compactOnce() (bool, error) {
 	st.cmu.Lock()
 	defer st.cmu.Unlock()
@@ -60,8 +64,20 @@ func (st *Store) compactOnce() (bool, error) {
 	if len(group) == 0 {
 		return false, nil
 	}
+	tr := trace.Default.Start(trace.Compact, "segstore.compact")
+	did, err := st.compactGroup(group, dead, tr)
+	root := tr.Root()
+	root.SetInt("inputs", int64(len(group)))
+	if err != nil {
+		root.SetStr("error", err.Error())
+	}
+	tr.Finish()
+	return did, err
+}
 
+func (st *Store) compactGroup(group []*Segment, dead map[int64]struct{}, tr *trace.Trace) (bool, error) {
 	// Merge outside the store lock: sources are immutable.
+	mergeSpan := tr.Start("merge")
 	var merged []FlushEntry
 	dropped := make(map[int64]struct{})
 	for _, seg := range group {
@@ -100,7 +116,12 @@ func (st *Store) compactOnce() (bool, error) {
 			return false, err
 		}
 	}
+	mergeSpan.SetInt("records", int64(len(merged)))
+	mergeSpan.SetInt("dropped", int64(len(dropped)))
+	mergeSpan.End()
 
+	commitSpan := tr.Start("commit")
+	defer commitSpan.End()
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	if st.closed {

@@ -5,6 +5,7 @@ import (
 	"streamsum/internal/core"
 	"streamsum/internal/obs"
 	"streamsum/internal/sgs"
+	"streamsum/internal/trace"
 )
 
 // Archiving-sink metrics (obs.Default): the executor-level view of the
@@ -39,57 +40,87 @@ func ArchiveWindows(base *archive.Base, next func(shard int, w *core.WindowResul
 // every entry reflects exactly what the archiver stored (post
 // compression/selection) and the whole window is evaluated against a
 // single archive state. The hook is the wiring point for incremental
-// subscription evaluation (internal/sub's Registry.Offer): it sees only
-// the new entries, never the history. Entries the selection policy
+// subscription evaluation (internal/sub's Registry.OfferTraced): it sees
+// only the new entries, never the history. Entries the selection policy
 // skipped (or that a capacity-bounded memory-only base already evicted
 // again) are not passed. A nil eval is ignored.
+//
+// Each window's hand-off records one flight-recorder trace (category
+// SubEval): an "archive" span around PutBatch, a "resolve" span around
+// the snapshot resolution, and — via the trace passed to eval — the
+// registry's probe/refine/deliver spans, so a single trace covers the
+// window from archiving through event delivery.
 func ArchiveWindowsEval(base *archive.Base,
-	eval func(shard int, w *core.WindowResult, entries []*archive.Entry) error,
+	eval func(shard int, w *core.WindowResult, entries []*archive.Entry, tr *trace.Trace) error,
 	next func(shard int, w *core.WindowResult) error) func(int, *core.WindowResult) error {
 	return func(shard int, w *core.WindowResult) error {
 		metricArchivedWindows.Inc()
-		sums := make([]*sgs.Summary, 0, len(w.Clusters))
-		for _, c := range w.Clusters {
-			if c.Summary != nil {
-				sums = append(sums, c.Summary)
-			}
+		tr := trace.Default.Start(trace.SubEval, "window.eval")
+		root := tr.Root()
+		root.SetInt("shard", int64(shard))
+		root.SetInt("clusters", int64(len(w.Clusters)))
+		err := archiveOne(base, shard, w, eval, tr)
+		if err != nil {
+			root.SetStr("error", err.Error())
 		}
-		var entries []*archive.Entry
-		if len(sums) > 0 {
-			ids, archived, err := base.PutBatch(sums)
-			if err != nil {
-				return err
-			}
-			accepted := uint64(0)
-			for _, ok := range archived {
-				if ok {
-					accepted++
-				}
-			}
-			metricArchivedEntries.Add(accepted)
-			if eval != nil {
-				snap := base.Snapshot()
-				entries = make([]*archive.Entry, 0, len(ids))
-				for i, id := range ids {
-					if !archived[i] {
-						continue
-					}
-					if e := snap.Get(id); e != nil {
-						entries = append(entries, e)
-					}
-				}
-			}
-		}
-		// The hook runs for every window — empty ones included — so a
-		// registry's window sequence counts windows, not just archivals.
-		if eval != nil {
-			if err := eval(shard, w, entries); err != nil {
-				return err
-			}
+		tr.Finish()
+		if err != nil {
+			return err
 		}
 		if next != nil {
 			return next(shard, w)
 		}
 		return nil
 	}
+}
+
+func archiveOne(base *archive.Base, shard int, w *core.WindowResult,
+	eval func(shard int, w *core.WindowResult, entries []*archive.Entry, tr *trace.Trace) error,
+	tr *trace.Trace) error {
+	sums := make([]*sgs.Summary, 0, len(w.Clusters))
+	for _, c := range w.Clusters {
+		if c.Summary != nil {
+			sums = append(sums, c.Summary)
+		}
+	}
+	var entries []*archive.Entry
+	if len(sums) > 0 {
+		sp := tr.Start("archive")
+		ids, archived, err := base.PutBatch(sums)
+		if err != nil {
+			sp.End()
+			return err
+		}
+		accepted := uint64(0)
+		for _, ok := range archived {
+			if ok {
+				accepted++
+			}
+		}
+		metricArchivedEntries.Add(accepted)
+		sp.SetInt("archived", int64(accepted))
+		sp.End()
+		if eval != nil {
+			rsp := tr.Start("resolve")
+			snap := base.Snapshot()
+			entries = make([]*archive.Entry, 0, len(ids))
+			for i, id := range ids {
+				if !archived[i] {
+					continue
+				}
+				if e := snap.Get(id); e != nil {
+					entries = append(entries, e)
+				}
+			}
+			rsp.End()
+		}
+	}
+	// The hook runs for every window — empty ones included — so a
+	// registry's window sequence counts windows, not just archivals.
+	if eval != nil {
+		if err := eval(shard, w, entries, tr); err != nil {
+			return err
+		}
+	}
+	return nil
 }

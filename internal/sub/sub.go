@@ -2,7 +2,7 @@ package sub
 
 import (
 	"fmt"
-	"log"
+	"log/slog"
 	"sort"
 	"sync"
 	"time"
@@ -13,6 +13,7 @@ import (
 	"streamsum/internal/par"
 	"streamsum/internal/rtree"
 	"streamsum/internal/sgs"
+	"streamsum/internal/trace"
 	"streamsum/internal/track"
 )
 
@@ -242,6 +243,7 @@ type Registry struct {
 	dim     int
 	workers int
 	slow    time.Duration
+	logger  *slog.Logger
 
 	offerMu sync.Mutex // serializes Offer/OfferTrack; windows evaluate in call order
 	seq     uint64     // windows evaluated so far (last seq = seq-1)
@@ -269,6 +271,10 @@ type Config struct {
 	// whose wall time meets it, with a probe/refine/deliver phase
 	// breakdown. Zero disables slow-window logging.
 	SlowThreshold time.Duration
+	// Logger receives the slow-evaluation diagnostics. Nil discards
+	// them — the library never writes to the process-global logger; the
+	// daemon injects its structured logger instead.
+	Logger *slog.Logger
 }
 
 // NewRegistry returns an empty registry.
@@ -276,10 +282,15 @@ func NewRegistry(cfg Config) (*Registry, error) {
 	if cfg.Dim < 1 {
 		return nil, fmt.Errorf("sub: dimension required")
 	}
+	logger := cfg.Logger
+	if logger == nil {
+		logger = slog.New(slog.DiscardHandler)
+	}
 	return &Registry{
 		dim:     cfg.Dim,
 		workers: cfg.Workers,
 		slow:    cfg.SlowThreshold,
+		logger:  logger,
 		subs:    make(map[int64]*Subscription),
 		classes: make(map[match.Weights]*class),
 	}, nil
@@ -458,13 +469,30 @@ type pair struct {
 // to summaries (LoadSummary); memory-tier entries always are.
 //
 // Offer calls are serialized; each call consumes one sequence number.
+//
+// Offer records its own flight-recorder trace (category SubEval); when
+// the evaluation is already part of a larger window trace (the archive
+// sink's), use OfferTraced instead.
 func (r *Registry) Offer(entries []*archive.Entry) error {
+	tr := trace.Default.Start(trace.SubEval, "sub.window")
+	err := r.OfferTraced(entries, tr)
+	if err != nil {
+		tr.Root().SetStr("error", err.Error())
+	}
+	tr.Finish()
+	return err
+}
+
+// OfferTraced is Offer recording probe/refine/deliver spans into tr
+// (nil disables recording; the caller owns the trace's lifetime).
+func (r *Registry) OfferTraced(entries []*archive.Entry, tr *trace.Trace) error {
 	r.offerMu.Lock()
 	defer r.offerMu.Unlock()
 	start := time.Now()
 	seq := r.seq
 	r.seq++
 
+	probeSpan := tr.Start("probe")
 	var pairs []pair
 	if len(entries) > 0 {
 		r.mu.RLock()
@@ -474,6 +502,9 @@ func (r *Registry) Offer(entries []*archive.Entry) error {
 		r.mu.RUnlock()
 	}
 	probeDur := time.Since(start)
+	probeSpan.SetInt("entries", int64(len(entries)))
+	probeSpan.SetInt("candidates", int64(len(pairs)))
+	probeSpan.End()
 
 	// Refine: one grid-cell-level match per surviving pair, fanned across
 	// the workers; each task writes only its own slot. Pairs were sorted
@@ -482,6 +513,7 @@ func (r *Registry) Offer(entries []*archive.Entry) error {
 	// Disk-resident entries load through the archive's decoded-summary
 	// cache (sumcache), so an entry matched by several subscriptions —
 	// or by overlapping windows — still decodes once per residency.
+	refineSpan := tr.Start("refine")
 	dists := make([]float64, len(pairs))
 	sums := make([]*sgs.Summary, len(pairs))
 	errs := make([]error, len(pairs))
@@ -501,10 +533,13 @@ func (r *Registry) Offer(entries []*archive.Entry) error {
 		}
 	}
 	refineDur := time.Since(start) - probeDur
+	refineSpan.SetInt("pairs", int64(len(pairs)))
+	refineSpan.End()
 
 	// Ordered delivery: pairs are grouped by subscription (the sort key's
 	// major component), so one enqueue hands each subscription its whole
 	// window atomically.
+	deliverSpan := tr.Start("deliver")
 	var delivered uint64
 	for i := 0; i < len(pairs); {
 		j := i
@@ -529,6 +564,9 @@ func (r *Registry) Offer(entries []*archive.Entry) error {
 		delivered += uint64(len(evs))
 		i = j
 	}
+	deliverSpan.SetInt("events", int64(delivered))
+	deliverSpan.End()
+	tr.Root().SetInt("seq", int64(seq))
 
 	elapsed := time.Since(start)
 	r.statsMu.Lock()
@@ -545,9 +583,12 @@ func (r *Registry) Offer(entries []*archive.Entry) error {
 	metricEvents.Add(delivered)
 	metricEvalSeconds.Observe(elapsed)
 	if r.slow > 0 && elapsed >= r.slow {
-		log.Printf("sub: slow window eval seq=%d took=%s (threshold %s): probe=%s refine=%s deliver=%s entries=%d candidates=%d events=%d",
-			seq, elapsed, r.slow, probeDur, refineDur, elapsed-probeDur-refineDur,
-			len(entries), len(pairs), delivered)
+		r.logger.Warn("slow window eval",
+			"seq", seq, "took", elapsed, "threshold", r.slow,
+			"probe", probeDur, "refine", refineDur,
+			"deliver", elapsed-probeDur-refineDur,
+			"entries", len(entries), "candidates", len(pairs),
+			"events", delivered, "trace", tr.ID().String())
 	}
 	return nil
 }

@@ -1,0 +1,51 @@
+// Package trace is a dependency-free span-tracing subsystem with a
+// bounded flight recorder: every traced operation (one ingest batch,
+// one match query, one window evaluation, one demotion flush, one
+// compaction run) records a tree of spans — trace id, span id, parent
+// id, wall times, and a fixed set of typed attributes — and the
+// recorder retains the last N completed traces per category in a ring
+// buffer for retrieval after the fact ("what was the daemon doing just
+// before the anomaly?").
+//
+// # Recording lifetime
+//
+// A Trace is obtained from a Recorder (Recorder.Start / StartID) or
+// standalone via New. Recorder.Start returns nil when the recorder is
+// disabled (capacity 0); every method on a nil *Trace and on the zero
+// Span is a safe no-op, so instrumented code never branches on whether
+// tracing is on. Spans are carved out of a buffer preallocated with
+// the trace: starting a span, setting attributes, and ending it
+// allocate nothing (asserted by testing.AllocsPerRun in the tests).
+// A trace holds at most MaxSpans spans and a span at most a fixed
+// number of attributes; excess spans are dropped and counted
+// (TraceData.Dropped), excess attributes are dropped silently.
+//
+// Finish ends the root span, converts the trace into an immutable
+// TraceData, commits it to the recorder's per-category ring (evicting
+// the oldest trace once the ring is full), and recycles the trace's
+// buffer. After Finish (or Discard) returns, the *Trace and any Span
+// handles derived from it must not be used again — use the returned
+// TraceData instead. Traces that are never finished are never
+// recorded.
+//
+// # Concurrency
+//
+// Span slots are claimed with an atomic counter, so any number of
+// goroutines may concurrently start spans on one trace (the match
+// phases fan out per shard, ingest discovery fans out per worker).
+// Each individual span must be written by a single goroutine: the one
+// that started it calls SetInt/SetStr/SetBool/End. The caller must
+// make all span writes happen-before Finish — in practice, join every
+// goroutine recording into the trace before finishing it, which the
+// instrumented pipelines already do for their own results. Recorder
+// methods (Start, Traces, Find, SetCapacity) are safe for concurrent
+// use; readers receive immutable snapshots and never block recording
+// for longer than a ring copy.
+//
+// # Trace context propagation
+//
+// ParseTraceparent and Traceparent convert between a trace id and the
+// W3C trace-context header ("00-<trace-id>-<span-id>-<flags>"), the
+// seam through which external ids flow into recorded traces (sgsd
+// accepts and emits the header on /match and /subscribe).
+package trace

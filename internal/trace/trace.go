@@ -1,0 +1,536 @@
+package trace
+
+import (
+	"encoding/binary"
+	"encoding/hex"
+	"math/rand/v2"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Category partitions the flight recorder: each category keeps its own
+// ring of recently completed traces, so a flood of ingest batches never
+// evicts the one slow match an operator is hunting.
+type Category uint8
+
+const (
+	// Ingest traces one PushBatch through the batch pipeline
+	// (per-segment discovery/apply, per-window emit).
+	Ingest Category = iota
+	// Match traces one one-shot matching query (filter with per-shard
+	// children, refine, order).
+	Match
+	// SubEval traces one completed window from archiving through
+	// standing-query evaluation and event delivery.
+	SubEval
+	// Demote traces one demotion batch flushed to the segment store.
+	Demote
+	// Compact traces one compaction run (merge + manifest commit).
+	Compact
+
+	numCategories
+)
+
+var categoryNames = [numCategories]string{
+	Ingest:  "ingest",
+	Match:   "match",
+	SubEval: "subeval",
+	Demote:  "demote",
+	Compact: "compact",
+}
+
+func (c Category) String() string {
+	if int(c) < len(categoryNames) {
+		return categoryNames[c]
+	}
+	return "unknown"
+}
+
+// Categories returns every recorder category, for handlers and tests
+// that iterate the flight recorder.
+func Categories() []Category {
+	out := make([]Category, numCategories)
+	for i := range out {
+		out[i] = Category(i)
+	}
+	return out
+}
+
+// ID is a 16-byte trace id, rendered as 32 lowercase hex characters —
+// the W3C trace-context trace-id format.
+type ID [16]byte
+
+// IsZero reports whether the id is the invalid all-zero id.
+func (id ID) IsZero() bool { return id == ID{} }
+
+func (id ID) String() string { return hex.EncodeToString(id[:]) }
+
+func randomID() ID {
+	var id ID
+	for id.IsZero() {
+		binary.LittleEndian.PutUint64(id[0:8], rand.Uint64())
+		binary.LittleEndian.PutUint64(id[8:16], rand.Uint64())
+	}
+	return id
+}
+
+// MaxSpans is the per-trace span capacity. Spans started beyond it are
+// dropped (recording stays a no-op rather than allocating) and counted
+// in TraceData.Dropped.
+const MaxSpans = 192
+
+// maxAttrs is the per-span attribute capacity; attributes set beyond
+// it are silently dropped.
+const maxAttrs = 6
+
+type attrKind uint8
+
+const (
+	attrNone attrKind = iota
+	attrInt
+	attrStr
+	attrBool
+)
+
+type attr struct {
+	key  string
+	str  string
+	num  int64
+	kind attrKind
+}
+
+type span struct {
+	id     uint32
+	parent uint32
+	name   string
+	start  time.Time
+	end    time.Time
+	nattr  int
+	attrs  [maxAttrs]attr
+}
+
+// Trace is one in-flight recording: a preallocated span buffer plus
+// identity. Obtain one from Recorder.Start (nil when disabled) or New;
+// see the package comment for the lifetime and concurrency contract.
+type Trace struct {
+	rec     *Recorder
+	cat     Category
+	name    string
+	id      ID
+	start   time.Time
+	next    atomic.Int32
+	dropped atomic.Int32
+	spans   [MaxSpans]span
+}
+
+var tracePool = sync.Pool{New: func() any { return new(Trace) }}
+
+func newTrace(rec *Recorder, cat Category, name string, id ID) *Trace {
+	t := tracePool.Get().(*Trace)
+	t.rec = rec
+	t.cat = cat
+	t.name = name
+	if id.IsZero() {
+		id = randomID()
+	}
+	t.id = id
+	t.start = time.Now()
+	t.dropped.Store(0)
+	t.next.Store(1)
+	t.spans[0] = span{id: 1, name: name, start: t.start}
+	return t
+}
+
+// New returns a standalone trace that is not attached to any recorder:
+// Finish returns its TraceData but records nothing. Use it where a
+// span tree is wanted per call even while the flight recorder is
+// disabled (sgsd always derives the /match phase breakdown from one).
+// A zero id draws a random one.
+func New(cat Category, name string, id ID) *Trace {
+	return newTrace(nil, cat, name, id)
+}
+
+// ID returns the trace id (zero for a nil trace).
+func (t *Trace) ID() ID {
+	if t == nil {
+		return ID{}
+	}
+	return t.id
+}
+
+// Span is a handle to one span of a trace. The zero Span (from a nil
+// or full trace) is a valid no-op target for all methods.
+type Span struct {
+	t *Trace
+	s *span
+}
+
+// startSpan claims the next span slot; the trace's slot 0 is the root.
+func (t *Trace) startSpan(name string, parent uint32) Span {
+	if t == nil {
+		return Span{}
+	}
+	i := t.next.Add(1) - 1
+	if int(i) >= MaxSpans {
+		t.dropped.Add(1)
+		return Span{}
+	}
+	s := &t.spans[i]
+	s.id = uint32(i) + 1
+	s.parent = parent
+	s.name = name
+	s.start = time.Now()
+	s.end = time.Time{}
+	s.nattr = 0
+	return Span{t: t, s: s}
+}
+
+// Root returns the root span, started with the trace and ended by
+// Finish. Attributes set on it describe the operation as a whole.
+func (t *Trace) Root() Span {
+	if t == nil {
+		return Span{}
+	}
+	return Span{t: t, s: &t.spans[0]}
+}
+
+// Start starts a child span of the root.
+func (t *Trace) Start(name string) Span { return t.startSpan(name, 1) }
+
+// Child starts a child span of s.
+func (s Span) Child(name string) Span {
+	if s.s == nil {
+		return Span{}
+	}
+	return s.t.startSpan(name, s.s.id)
+}
+
+// SetInt attaches an integer attribute to the span.
+func (s Span) SetInt(key string, v int64) {
+	if s.s == nil || s.s.nattr >= maxAttrs {
+		return
+	}
+	s.s.attrs[s.s.nattr] = attr{key: key, num: v, kind: attrInt}
+	s.s.nattr++
+}
+
+// SetStr attaches a string attribute to the span.
+func (s Span) SetStr(key, v string) {
+	if s.s == nil || s.s.nattr >= maxAttrs {
+		return
+	}
+	s.s.attrs[s.s.nattr] = attr{key: key, str: v, kind: attrStr}
+	s.s.nattr++
+}
+
+// SetBool attaches a boolean attribute to the span.
+func (s Span) SetBool(key string, v bool) {
+	if s.s == nil || s.s.nattr >= maxAttrs {
+		return
+	}
+	var n int64
+	if v {
+		n = 1
+	}
+	s.s.attrs[s.s.nattr] = attr{key: key, num: n, kind: attrBool}
+	s.s.nattr++
+}
+
+// End records the span's end time. A span never ended inherits the
+// trace's end time on export.
+func (s Span) End() {
+	if s.s != nil {
+		s.s.end = time.Now()
+	}
+}
+
+// Finish ends the root span, commits the trace to its recorder's ring
+// (if any), recycles the span buffer, and returns the immutable
+// export. ok is false only for a nil trace. The trace must not be
+// used after Finish.
+func (t *Trace) Finish() (td TraceData, ok bool) {
+	if t == nil {
+		return TraceData{}, false
+	}
+	end := time.Now()
+	t.spans[0].end = end
+	td = t.export(end)
+	if t.rec != nil {
+		t.rec.commit(t.cat, td)
+	}
+	t.release()
+	return td, true
+}
+
+// Discard abandons the trace without recording it (e.g. a compaction
+// pass that found no work). The trace must not be used afterwards.
+func (t *Trace) Discard() {
+	if t != nil {
+		t.release()
+	}
+}
+
+func (t *Trace) release() {
+	t.rec = nil
+	tracePool.Put(t)
+}
+
+func (t *Trace) export(end time.Time) TraceData {
+	n := int(t.next.Load())
+	if n > MaxSpans {
+		n = MaxSpans
+	}
+	td := TraceData{
+		TraceID:  t.id.String(),
+		Category: t.cat.String(),
+		Name:     t.name,
+		StartNS:  t.start.UnixNano(),
+		DurNS:    end.Sub(t.start).Nanoseconds(),
+		Dropped:  int(t.dropped.Load()),
+		Spans:    make([]SpanData, n),
+	}
+	for i := 0; i < n; i++ {
+		s := &t.spans[i]
+		sd := SpanData{
+			ID:      s.id,
+			Parent:  s.parent,
+			Name:    s.name,
+			StartNS: s.start.UnixNano(),
+		}
+		se := s.end
+		if se.IsZero() {
+			se = end
+		}
+		sd.DurNS = se.Sub(s.start).Nanoseconds()
+		if s.nattr > 0 {
+			sd.Attrs = make(map[string]any, s.nattr)
+			for _, a := range s.attrs[:s.nattr] {
+				switch a.kind {
+				case attrInt:
+					sd.Attrs[a.key] = a.num
+				case attrStr:
+					sd.Attrs[a.key] = a.str
+				case attrBool:
+					sd.Attrs[a.key] = a.num != 0
+				}
+			}
+		}
+		td.Spans[i] = sd
+	}
+	return td
+}
+
+// SpanData is the immutable export of one span. The root span has
+// ID 1 and Parent 0; every other Parent references a span id within
+// the same trace.
+type SpanData struct {
+	ID      uint32         `json:"id"`
+	Parent  uint32         `json:"parent"`
+	Name    string         `json:"name"`
+	StartNS int64          `json:"start_unix_ns"`
+	DurNS   int64          `json:"dur_ns"`
+	Attrs   map[string]any `json:"attrs,omitempty"`
+}
+
+// Int returns an integer attribute (0, false when absent or not an
+// integer).
+func (sd SpanData) Int(key string) (int64, bool) {
+	v, ok := sd.Attrs[key].(int64)
+	return v, ok
+}
+
+// Str returns a string attribute.
+func (sd SpanData) Str(key string) (string, bool) {
+	v, ok := sd.Attrs[key].(string)
+	return v, ok
+}
+
+// Bool returns a boolean attribute.
+func (sd SpanData) Bool(key string) (bool, bool) {
+	v, ok := sd.Attrs[key].(bool)
+	return v, ok
+}
+
+// TraceData is the immutable export of one completed trace — what the
+// flight recorder retains and what readers receive. Spans appear in
+// start order (slot order); Spans[0] is the root.
+type TraceData struct {
+	TraceID  string     `json:"trace"`
+	Category string     `json:"category"`
+	Name     string     `json:"name"`
+	StartNS  int64      `json:"start_unix_ns"`
+	DurNS    int64      `json:"dur_ns"`
+	Dropped  int        `json:"dropped_spans,omitempty"`
+	Spans    []SpanData `json:"spans"`
+}
+
+// Span returns the first span with the given name, or nil.
+func (td TraceData) Span(name string) *SpanData {
+	for i := range td.Spans {
+		if td.Spans[i].Name == name {
+			return &td.Spans[i]
+		}
+	}
+	return nil
+}
+
+// Children returns the spans whose parent is the given span id, in
+// start order.
+func (td TraceData) Children(parent uint32) []SpanData {
+	var out []SpanData
+	for _, sd := range td.Spans {
+		if sd.Parent == parent && sd.ID != sd.Parent {
+			out = append(out, sd)
+		}
+	}
+	return out
+}
+
+// Recorder is the flight recorder: a bounded ring of completed traces
+// per category. The zero capacity recorder is disabled — Start returns
+// nil and nothing is retained. All methods are safe for concurrent
+// use, and all methods on a nil *Recorder are no-ops.
+type Recorder struct {
+	capacity atomic.Int32
+	mu       sync.Mutex
+	rings    [numCategories][]TraceData // circular, len == capacity once touched
+	pos      [numCategories]int         // next write slot
+	count    [numCategories]int         // traces held, <= capacity
+}
+
+// Default is the process-wide flight recorder, disabled until
+// SetCapacity is called (sgsd's -trace flag). Library code records
+// into it unconditionally; the nil-trace no-op keeps the disabled cost
+// to one atomic load per operation.
+var Default = NewRecorder(0)
+
+// NewRecorder returns a recorder retaining up to perCategory completed
+// traces in each category; 0 disables recording.
+func NewRecorder(perCategory int) *Recorder {
+	r := &Recorder{}
+	r.SetCapacity(perCategory)
+	return r
+}
+
+// SetCapacity resizes the per-category rings, dropping any retained
+// traces; 0 disables the recorder.
+func (r *Recorder) SetCapacity(n int) {
+	if r == nil {
+		return
+	}
+	if n < 0 {
+		n = 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.capacity.Store(int32(n))
+	for c := range r.rings {
+		r.rings[c] = nil
+		r.pos[c] = 0
+		r.count[c] = 0
+	}
+}
+
+// Capacity returns the per-category ring capacity.
+func (r *Recorder) Capacity() int {
+	if r == nil {
+		return 0
+	}
+	return int(r.capacity.Load())
+}
+
+// Enabled reports whether Start returns live traces.
+func (r *Recorder) Enabled() bool { return r.Capacity() > 0 }
+
+// Start begins a trace with a random id. It returns nil when the
+// recorder is disabled or nil — safe to use anyway.
+func (r *Recorder) Start(cat Category, name string) *Trace {
+	return r.StartID(cat, name, ID{})
+}
+
+// StartID is Start with an externally supplied trace id (a parsed
+// traceparent header); a zero id draws a random one.
+func (r *Recorder) StartID(cat Category, name string, id ID) *Trace {
+	if r == nil || r.capacity.Load() == 0 {
+		return nil
+	}
+	return newTrace(r, cat, name, id)
+}
+
+func (r *Recorder) commit(cat Category, td TraceData) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := int(r.capacity.Load())
+	if n == 0 {
+		return // disabled between Start and Finish
+	}
+	if len(r.rings[cat]) != n {
+		ring := make([]TraceData, n)
+		// SetCapacity cleared state, so rebuild from empty.
+		r.rings[cat] = ring
+		r.pos[cat] = 0
+		r.count[cat] = 0
+	}
+	r.rings[cat][r.pos[cat]] = td
+	r.pos[cat] = (r.pos[cat] + 1) % n
+	if r.count[cat] < n {
+		r.count[cat]++
+	}
+}
+
+// Traces returns the retained traces of one category, newest first.
+// The returned data is immutable and safe to hold.
+func (r *Recorder) Traces(cat Category) []TraceData {
+	if r == nil || int(cat) >= int(numCategories) {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.tracesLocked(cat)
+}
+
+func (r *Recorder) tracesLocked(cat Category) []TraceData {
+	n := r.count[cat]
+	if n == 0 {
+		return nil
+	}
+	ring := r.rings[cat]
+	out := make([]TraceData, 0, n)
+	for i := 1; i <= n; i++ {
+		out = append(out, ring[(r.pos[cat]-i+len(ring))%len(ring)])
+	}
+	return out
+}
+
+// All returns every retained trace across categories, newest first
+// within each category, categories in declaration order.
+func (r *Recorder) All() []TraceData {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var out []TraceData
+	for c := Category(0); c < numCategories; c++ {
+		out = append(out, r.tracesLocked(c)...)
+	}
+	return out
+}
+
+// Find returns the retained trace with the given hex id.
+func (r *Recorder) Find(id string) (TraceData, bool) {
+	if r == nil {
+		return TraceData{}, false
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for c := Category(0); c < numCategories; c++ {
+		for _, td := range r.tracesLocked(c) {
+			if td.TraceID == id {
+				return td, true
+			}
+		}
+	}
+	return TraceData{}, false
+}

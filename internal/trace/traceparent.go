@@ -1,0 +1,57 @@
+package trace
+
+import (
+	"encoding/hex"
+	"fmt"
+)
+
+// ParseTraceparent parses a W3C trace-context traceparent header
+// ("<2 hex version>-<32 hex trace-id>-<16 hex parent-id>-<2 hex
+// flags>"). It returns the trace id, the parent span id, and whether
+// the header was valid; per the spec, an unknown version is accepted
+// as long as the prefix parses, while version ff, a zero trace id, and
+// a zero parent id are invalid. Callers ignore invalid headers and
+// mint a fresh id instead of failing the request.
+func ParseTraceparent(h string) (id ID, parent uint64, ok bool) {
+	if len(h) < 55 || h[2] != '-' || h[35] != '-' || h[52] != '-' {
+		return ID{}, 0, false
+	}
+	if len(h) > 55 && h[55] != '-' {
+		return ID{}, 0, false
+	}
+	var version [1]byte
+	if _, err := hex.Decode(version[:], []byte(h[0:2])); err != nil || version[0] == 0xff {
+		return ID{}, 0, false
+	}
+	if version[0] == 0 && len(h) != 55 {
+		return ID{}, 0, false
+	}
+	if _, err := hex.Decode(id[:], []byte(h[3:35])); err != nil || id.IsZero() {
+		return ID{}, 0, false
+	}
+	var pb [8]byte
+	if _, err := hex.Decode(pb[:], []byte(h[36:52])); err != nil {
+		return ID{}, 0, false
+	}
+	for _, b := range pb {
+		parent = parent<<8 | uint64(b)
+	}
+	if parent == 0 {
+		return ID{}, 0, false
+	}
+	var flags [1]byte
+	if _, err := hex.Decode(flags[:], []byte(h[53:55])); err != nil {
+		return ID{}, 0, false
+	}
+	return id, parent, true
+}
+
+// Traceparent renders a version-00 traceparent header for the given
+// trace id and span id, sampled flag set — what sgsd emits back on
+// /match and /subscribe responses.
+func Traceparent(id ID, span uint64) string {
+	if span == 0 {
+		span = 1
+	}
+	return fmt.Sprintf("00-%s-%016x-01", id, span)
+}

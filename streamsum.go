@@ -90,6 +90,7 @@ package streamsum
 import (
 	"errors"
 	"fmt"
+	"log/slog"
 	"time"
 
 	"streamsum/internal/archive"
@@ -103,6 +104,7 @@ import (
 	"streamsum/internal/sgs"
 	"streamsum/internal/stream"
 	"streamsum/internal/sub"
+	"streamsum/internal/trace"
 	"streamsum/internal/track"
 	"streamsum/internal/window"
 )
@@ -131,9 +133,14 @@ type (
 	Match = match.Match
 	// MatchStats reports filter-and-refine effectiveness.
 	MatchStats = match.Stats
-	// MatchTrace carries a query's per-phase timings and pruning detail
-	// (opt in via MatchOptions.Trace).
-	MatchTrace = match.Trace
+	// MatchTrace is a span-recording trace: MatchOptions.Trace records a
+	// query's phase spans (filter/refine/order, per-shard children, cache
+	// and zone attribution as attributes) into one. Obtain one with
+	// NewMatchTrace, run the query, then call Finish for the immutable
+	// MatchTraceData export.
+	MatchTrace = trace.Trace
+	// MatchTraceData is a finished trace's immutable span tree.
+	MatchTraceData = trace.TraceData
 	// Weights configures the cluster distance metric.
 	Weights = match.Weights
 )
@@ -141,6 +148,13 @@ type (
 // EqualWeights returns the paper's default metric weights (0.25 each,
 // position-insensitive).
 func EqualWeights() Weights { return match.EqualWeights() }
+
+// NewMatchTrace returns a standalone trace for one matching query:
+// set it as MatchOptions.Trace, run the query, then call Finish to
+// obtain the span tree. Standalone traces live outside the engine's
+// flight recorder (internal/trace.Default), which sgsd manages via its
+// -trace flag.
+func NewMatchTrace() *MatchTrace { return trace.New(trace.Match, "match", trace.ID{}) }
 
 // Options configures a streaming clustering engine (the DETECT query of
 // the paper's Figure 2).
@@ -220,6 +234,11 @@ type Options struct {
 	// smaller. 0 — or SGS_SUMCACHE=off — disables the cache; results are
 	// identical either way, only repeated-query latency changes.
 	SummaryCacheBytes int
+	// Logger receives the engine's diagnostics (slow window evaluations,
+	// background demotion failures), with a "component" attribute naming
+	// the subsystem. Nil discards them — library embedders stay silent by
+	// default; sgsd injects its daemon logger.
+	Logger *slog.Logger
 }
 
 // Engine is the end-to-end system of the paper's Figure 4: pattern
@@ -290,24 +309,33 @@ func New(opts Options) (*Engine, error) {
 		ac.StorePath = opts.StorePath
 		ac.MaxMemBytes = opts.StoreMaxMemBytes
 		ac.SummaryCacheBytes = opts.SummaryCacheBytes
+		if opts.Logger != nil {
+			ac.Logger = opts.Logger.With("component", "archive")
+		}
 		e.base, err = archive.New(ac)
 		if err != nil {
 			return nil, err
 		}
-		e.subs, err = sub.NewRegistry(sub.Config{
+		sc := sub.Config{
 			Dim: opts.Dim, Workers: opts.SubWorkers,
 			SlowThreshold: opts.SlowQuery,
-		})
+		}
+		if opts.Logger != nil {
+			sc.Logger = opts.Logger.With("component", "sub")
+		}
+		e.subs, err = sub.NewRegistry(sc)
 		if err != nil {
 			return nil, err
 		}
 		if opts.ArchiveNovelty <= 0 {
 			// The same window-per-PutBatch wiring sharded consumers use,
 			// with the window's new entries offered to the standing-query
-			// registry off the same post-batch snapshot.
+			// registry off the same post-batch snapshot — and evaluated
+			// inside the sink's window trace, so one recorded trace covers
+			// archiving through delivery.
 			e.sink = stream.ArchiveWindowsEval(e.base,
-				func(_ int, _ *core.WindowResult, entries []*archive.Entry) error {
-					return e.subs.Offer(entries)
+				func(_ int, _ *core.WindowResult, entries []*archive.Entry, tr *trace.Trace) error {
+					return e.subs.OfferTraced(entries, tr)
 				}, nil)
 		}
 	}
@@ -582,10 +610,12 @@ type MatchOptions struct {
 	// Workers overrides the engine's Options.MatchWorkers for this query
 	// when non-zero. Results are byte-identical at every setting.
 	Workers int
-	// Trace, when non-nil, is filled with the query's per-phase wall
+	// Trace, when non-nil, records the query's span tree: per-phase wall
 	// times and pruning detail (segments probed vs zone-skipped, summary
-	// cache hits vs disk loads). Tracing never changes the results; it
-	// only adds a few clock reads and zone re-checks.
+	// cache hits vs disk loads) as spans and attributes. The caller owns
+	// the trace's lifetime (obtain one with NewMatchTrace, Finish it
+	// after the query). Tracing never changes the results; it only adds
+	// a few clock reads and zone re-checks.
 	Trace *MatchTrace
 }
 

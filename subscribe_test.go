@@ -17,6 +17,7 @@ import (
 	"streamsum/internal/sgs"
 	"streamsum/internal/stream"
 	"streamsum/internal/sub"
+	"streamsum/internal/trace"
 	"streamsum/internal/window"
 )
 
@@ -323,8 +324,8 @@ func TestSubscribeChurnSharded(t *testing.T) {
 		sh := &stream.Sharded{
 			Procs: procs,
 			OnWindow: stream.ArchiveWindowsEval(base,
-				func(_ int, _ *core.WindowResult, entries []*archive.Entry) error {
-					return reg.Offer(entries)
+				func(_ int, _ *core.WindowResult, entries []*archive.Entry, tr *trace.Trace) error {
+					return reg.OfferTraced(entries, tr)
 				}, nil),
 			FlushTail: true,
 		}
